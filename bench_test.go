@@ -1,0 +1,237 @@
+package finemoe
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6), as indexed in DESIGN.md §3. Each benchmark runs
+// the corresponding experiment and reports its headline quantity through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every
+// artifact's data.
+//
+// Benchmarks run at Small scale by default so the full sweep completes in
+// minutes; set -bench-scale=full (or run cmd/finemoe-bench -scale full) for
+// the paper-scale workloads.
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"finemoe/internal/experiments"
+)
+
+var benchScale = flag.String("bench-scale", "small", "experiment scale for benchmarks: small|full")
+
+// benchCtx shares simulation state (models, traces, stores) across
+// benchmarks, mirroring how the CLI amortizes it.
+var (
+	benchCtxOnce sync.Once
+	benchCtxVal  *experiments.Context
+)
+
+func benchContext() *experiments.Context {
+	benchCtxOnce.Do(func() {
+		sc := experiments.Small
+		if *benchScale == "full" {
+			sc = experiments.Full
+		}
+		benchCtxVal = experiments.NewContext(sc, 42)
+	})
+	return benchCtxVal
+}
+
+// metricCell extracts a numeric metric from a table cell for reporting.
+func metricCell(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(s, " (async)"))
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// runExperimentBench executes an experiment b.N times and reports the value
+// of the named column of the first row matching the filter (nil = first
+// row).
+func runExperimentBench(b *testing.B, id, metricCol, metricName string, match func(row []string) bool) {
+	b.Helper()
+	ctx := benchContext()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(ctx, id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if metricCol == "" {
+			continue
+		}
+		header := out.Table.Header()
+		col := -1
+		for j, h := range header {
+			if h == metricCol {
+				col = j
+			}
+		}
+		if col < 0 {
+			b.Fatalf("%s: column %q missing from %v", id, metricCol, header)
+		}
+		for _, row := range out.Table.Rows() {
+			if match != nil && !match(row) {
+				continue
+			}
+			if v, ok := metricCell(row[col]); ok {
+				b.ReportMetric(v, metricName)
+			}
+			break
+		}
+	}
+}
+
+func fineMoERow(row []string) bool {
+	for _, c := range row {
+		if c == "FineMoE" {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkTable1 regenerates Table 1 (model characteristics).
+func BenchmarkTable1(b *testing.B) {
+	runExperimentBench(b, "tab1", "params_total_B", "mixtral_total_B", nil)
+}
+
+// BenchmarkFig1b regenerates Fig. 1b (latency-memory trade-off scatter).
+func BenchmarkFig1b(b *testing.B) {
+	runExperimentBench(b, "fig1b", "tpot_s", "finemoe_tpot_s", fineMoERow)
+}
+
+// BenchmarkFig3a regenerates Fig. 3a (activation heatmaps).
+func BenchmarkFig3a(b *testing.B) { runExperimentBench(b, "fig3a", "", "", nil) }
+
+// BenchmarkFig3b regenerates Fig. 3b (coarse vs fine entropy).
+func BenchmarkFig3b(b *testing.B) {
+	runExperimentBench(b, "fig3b", "coarse_entropy", "mixtral_coarse_entropy", nil)
+}
+
+// BenchmarkFig3c regenerates Fig. 3c (entropy vs aggregated iterations).
+func BenchmarkFig3c(b *testing.B) { runExperimentBench(b, "fig3c", "", "", nil) }
+
+// BenchmarkFig4 regenerates Fig. 4 (hit rate vs prefetch distance).
+func BenchmarkFig4(b *testing.B) { runExperimentBench(b, "fig4", "", "", nil) }
+
+// BenchmarkFig8 regenerates Fig. 8 (hit rate vs similarity score).
+func BenchmarkFig8(b *testing.B) { runExperimentBench(b, "fig8", "", "", nil) }
+
+// BenchmarkFig9 regenerates Fig. 9 (Pearson correlations).
+func BenchmarkFig9(b *testing.B) {
+	runExperimentBench(b, "fig9", "pearson_semantic", "mixtral_pearson_sem", nil)
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (offline serving comparison).
+func BenchmarkFig10(b *testing.B) {
+	runExperimentBench(b, "fig10", "hit_rate", "finemoe_hit_rate", fineMoERow)
+}
+
+// BenchmarkFig11 regenerates Fig. 11 (online request-latency CDF).
+func BenchmarkFig11(b *testing.B) {
+	runExperimentBench(b, "fig11", "p50_s", "finemoe_p50_s", fineMoERow)
+}
+
+// BenchmarkFig12 regenerates Fig. 12 (TPOT vs cache limits).
+func BenchmarkFig12(b *testing.B) {
+	runExperimentBench(b, "fig12", "tpot_s@6GB", "finemoe_tpot6gb_s", fineMoERow)
+}
+
+// BenchmarkFig13 regenerates Fig. 13 (A100 testbed).
+func BenchmarkFig13(b *testing.B) {
+	runExperimentBench(b, "fig13", "tpot_s", "finemoe_a100_tpot_s", fineMoERow)
+}
+
+// BenchmarkFig14a regenerates Fig. 14a (pattern-tracking ablation).
+func BenchmarkFig14a(b *testing.B) {
+	runExperimentBench(b, "fig14a", "Map(T+S+d)", "mixtral_full_hit", nil)
+}
+
+// BenchmarkFig14b regenerates Fig. 14b (caching ablation).
+func BenchmarkFig14b(b *testing.B) {
+	runExperimentBench(b, "fig14b", "FineMoE", "mixtral_finemoe_hit", nil)
+}
+
+// BenchmarkFig15 regenerates Fig. 15 (prefetch-distance sweep).
+func BenchmarkFig15(b *testing.B) { runExperimentBench(b, "fig15", "", "", nil) }
+
+// BenchmarkFig16a regenerates Fig. 16a (similarity vs store capacity).
+func BenchmarkFig16a(b *testing.B) { runExperimentBench(b, "fig16a", "", "", nil) }
+
+// BenchmarkFig16b regenerates Fig. 16b (batch-size sweep).
+func BenchmarkFig16b(b *testing.B) {
+	runExperimentBench(b, "fig16b", "B=1", "finemoe_b1", fineMoERow)
+}
+
+// BenchmarkFig17 regenerates Fig. 17 (latency breakdown).
+func BenchmarkFig17(b *testing.B) {
+	runExperimentBench(b, "fig17", "total_iter_ms", "mixtral_iter_ms", nil)
+}
+
+// BenchmarkFig18 regenerates Fig. 18 (store memory footprint).
+func BenchmarkFig18(b *testing.B) {
+	runExperimentBench(b, "fig18", "32K_maps_MB", "mixtral_32k_MB", nil)
+}
+
+// BenchmarkAblationSync regenerates the sync-vs-async search ablation.
+func BenchmarkAblationSync(b *testing.B) { runExperimentBench(b, "abl-sync", "", "", nil) }
+
+// BenchmarkAblationEP regenerates the expert-parallelism ablation.
+func BenchmarkAblationEP(b *testing.B) { runExperimentBench(b, "abl-ep", "", "", nil) }
+
+// BenchmarkAblationDedup regenerates the store-dedup ablation.
+func BenchmarkAblationDedup(b *testing.B) { runExperimentBench(b, "abl-dedup", "", "", nil) }
+
+// --- micro-benchmarks of the core data path ---------------------------------
+
+// BenchmarkExpertMapSearch measures one semantic search over a populated
+// store (the per-iteration cost §6.8 claims is negligible).
+func BenchmarkExpertMapSearch(b *testing.B) {
+	cfg := TinyModel()
+	model := NewModel(cfg, 1)
+	ds := LMSYSChat1M()
+	ds.Topics = 8
+	reqs := ds.Sample(WorkloadOptions{Dim: cfg.SemDim, N: 24, Seed: 1, FixedLengths: true})
+	for i := range reqs {
+		reqs[i].InputTokens, reqs[i].OutputTokens = 6, 12
+	}
+	store := BuildStoreFromRequests(model, reqs, 250)
+	pol := NewFineMoE(store, FineMoEOptions{})
+	_ = pol
+	query := model.Trace(reqs[0].PromptSpec)[1]
+	searcher := NewSearcher(store, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		searcher.SemanticSearch(query.Semantic)
+	}
+}
+
+// BenchmarkOfflineServing measures end-to-end engine throughput on the tiny
+// model (iterations simulated per second).
+func BenchmarkOfflineServing(b *testing.B) {
+	cfg := TinyModel()
+	model := NewModel(cfg, 1)
+	ds := LMSYSChat1M()
+	ds.Topics = 8
+	reqs := ds.Sample(WorkloadOptions{Dim: cfg.SemDim, N: 4, Seed: 2, FixedLengths: true})
+	for i := range reqs {
+		reqs[i].InputTokens, reqs[i].OutputTokens = 6, 12
+	}
+	store := BuildStoreFromRequests(model, reqs[:2], 100)
+	traces := make(map[uint64][]*Iteration)
+	for _, q := range reqs[2:] {
+		traces[q.ID] = model.Trace(q.PromptSpec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := NewFineMoE(store.Clone(), FineMoEOptions{})
+		eng := NewEngine(EngineOptions{
+			Model: model, GPU: RTX3090(), NumGPUs: 2,
+			CacheBytes: cfg.ExpertBytes() * int64(cfg.NumExperts()) / 2,
+			Policy:     pol,
+		})
+		eng.RunOffline(reqs[2:], traces)
+	}
+}

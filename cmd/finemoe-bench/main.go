@@ -1,0 +1,91 @@
+// Command finemoe-bench runs the paper-reproduction experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	finemoe-bench -list
+//	finemoe-bench -exp fig10
+//	finemoe-bench -exp fig10,fig12 -scale full -seed 42
+//	finemoe-bench -all -scale small
+//	finemoe-bench -exp fig18 -csv
+//
+// Experiment IDs match DESIGN.md §3 (tab1, fig1b, fig3a–fig4, fig8–fig18,
+// abl-sync, abl-ep, abl-dedup). The "full" scale uses the paper's workload
+// parameters; "small" is a fast smoke configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"finemoe/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp   = flag.String("exp", "", "comma-separated experiment IDs to run")
+		all   = flag.Bool("all", false, "run every registered experiment")
+		scale = flag.String("scale", "full", `workload scale: "full" (paper parameters) or "small"`)
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet = flag.Bool("q", false, "suppress progress timing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.Full
+	case "small":
+		sc = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (use full or small)\n", *scale)
+		os.Exit(2)
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.List() {
+			ids = append(ids, e.ID)
+		}
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -exp <ids>, -all, or -list")
+		os.Exit(2)
+	}
+
+	ctx := experiments.NewContext(sc, *seed)
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s", out.ID, out.Title, out.Table.CSV())
+		} else {
+			fmt.Println(out.String())
+		}
+		if !*quiet {
+			fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

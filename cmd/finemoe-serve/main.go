@@ -1,0 +1,76 @@
+// Command finemoe-serve exposes the FineMoE serving simulator as an HTTP
+// service, demonstrating the system's online behaviour: the Expert Map
+// Store starts empty and warms up as requests flow, improving hit rates and
+// latency over time.
+//
+// Endpoints:
+//
+//	POST /v1/generate  {"prompt_topic": 3, "input_tokens": 37, "output_tokens": 32}
+//	  -> per-request metrics (simulated TTFT/TPOT/E2E, expert hits/misses)
+//	GET  /v1/stats
+//	  -> cumulative serving statistics and store state
+//	GET  /v1/config
+//	  -> model, testbed and policy configuration
+//
+// Usage:
+//
+//	finemoe-serve -model mixtral -addr :8080 -gpus 6 -cache-gb 27
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"finemoe/internal/httpserve"
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+)
+
+func modelByName(name string) (moe.Config, error) {
+	switch strings.ToLower(name) {
+	case "mixtral":
+		return moe.Mixtral8x7B(), nil
+	case "qwen":
+		return moe.Qwen15MoE(), nil
+	case "phi":
+		return moe.Phi35MoE(), nil
+	case "tiny":
+		return moe.Tiny(), nil
+	}
+	return moe.Config{}, fmt.Errorf("unknown model %q (mixtral|qwen|phi|tiny)", name)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		modelArg = flag.String("model", "mixtral", "model: mixtral|qwen|phi|tiny")
+		gpus     = flag.Int("gpus", 6, "expert-parallel GPU count")
+		cacheGB  = flag.Float64("cache-gb", 0, "expert cache budget in GiB (0 = 30% of expert weights)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg, err := modelByName(*modelArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var cacheBytes int64
+	if *cacheGB > 0 {
+		cacheBytes = int64(*cacheGB * float64(int64(1)<<30))
+	}
+	srv := httpserve.New(httpserve.Config{
+		Model: cfg, Seed: *seed,
+		GPU: memsim.RTX3090(), NumGPUs: *gpus,
+		CacheBytes: cacheBytes,
+	})
+
+	log.Printf("finemoe-serve: %s on %d GPU(s), listening on %s", cfg.Name, *gpus, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

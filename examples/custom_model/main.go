@@ -1,0 +1,64 @@
+// Custom model: define your own MoE architecture (here a DeepSeek-MoE-style
+// configuration with many small experts plus shared experts), plug it into
+// the simulator, and compare FineMoE against on-demand loading.
+//
+// Run with: go run ./examples/custom_model
+package main
+
+import (
+	"fmt"
+
+	"finemoe"
+)
+
+func main() {
+	// Start from a paper model to inherit calibrated gate statistics,
+	// then reshape the architecture. DeepSeek-MoE-16B-style: 28 layers,
+	// 64 routed experts (top-6), 2 shared experts.
+	cfg := finemoe.Qwen15MoE()
+	cfg.Name = "DeepSeekMoE-16B-ish"
+	cfg.Layers = 28
+	cfg.RoutedExperts = 64
+	cfg.TopK = 6
+	cfg.SharedExperts = 2
+	cfg.HiddenSize = 2048
+	cfg.ExpertIntermediate = 1408
+	cfg.SharedIntermediate = 2816
+	cfg.DenseParams = 900_000_000
+	cfg.OptimalPrefetchDistance = 5
+
+	fmt.Printf("%s: %.1fB params (%.1fB active), %d x %d routed experts, expert %d MB\n",
+		cfg.Name,
+		float64(cfg.TotalParams())/1e9, float64(cfg.ActiveParams())/1e9,
+		cfg.Layers, cfg.RoutedExperts, cfg.ExpertBytes()/1_000_000)
+
+	model := finemoe.NewModel(cfg, 33)
+	ds := finemoe.LMSYSChat1M()
+	reqs := ds.Sample(finemoe.WorkloadOptions{
+		Dim: cfg.SemDim, N: 24, Seed: 13, FixedLengths: true,
+	})
+	for i := range reqs {
+		reqs[i].OutputTokens = 20
+	}
+	storeReqs, testReqs := finemoe.SplitRequests(reqs, 0.7)
+	store := finemoe.BuildStoreFromRequests(model, storeReqs, 800)
+	cache := int64(float64(cfg.TotalExpertBytes()) * 0.3)
+
+	for _, sys := range []struct {
+		name  string
+		build func() finemoe.Policy
+	}{
+		{"FineMoE", func() finemoe.Policy {
+			return finemoe.NewFineMoE(store.Clone(), finemoe.FineMoEOptions{})
+		}},
+		{"DeepSpeed (on-demand)", func() finemoe.Policy { return finemoe.NewDeepSpeed() }},
+	} {
+		eng := finemoe.NewEngine(finemoe.EngineOptions{
+			Model: model, GPU: finemoe.RTX3090(), NumGPUs: 4,
+			CacheBytes: cache, Policy: sys.build(),
+		})
+		res := eng.RunOffline(testReqs, nil)
+		fmt.Printf("  %-22s ttft %7.1f ms  tpot %6.1f ms  hit %.3f\n",
+			sys.name, res.MeanTTFT, res.MeanTPOT, res.HitRate)
+	}
+}

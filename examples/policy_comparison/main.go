@@ -1,0 +1,57 @@
+// Policy comparison: serve the same chatbot workload under FineMoE and the
+// paper's four baselines (§6.2's experiment in miniature) and print the
+// latency/hit-rate table.
+//
+// Run with: go run ./examples/policy_comparison
+package main
+
+import (
+	"fmt"
+
+	"finemoe"
+)
+
+func main() {
+	cfg := finemoe.Phi35MoE()
+	model := finemoe.NewModel(cfg, 7)
+	ds := finemoe.LMSYSChat1M()
+
+	reqs := ds.Sample(finemoe.WorkloadOptions{
+		Dim: cfg.SemDim, N: 36, Seed: 3, FixedLengths: true,
+	})
+	for i := range reqs {
+		reqs[i].OutputTokens = 24
+	}
+	storeReqs, testReqs := finemoe.SplitRequests(reqs, 0.7)
+	store := finemoe.BuildStoreFromRequests(model, storeReqs, 1000)
+
+	// Every system gets the same expert-cache budget: 30% of the expert
+	// weights, the lean operating point of the paper's comparison.
+	cacheBytes := int64(float64(cfg.TotalExpertBytes()) * 0.3)
+
+	systems := []struct {
+		name  string
+		build func() finemoe.Policy
+	}{
+		{"FineMoE", func() finemoe.Policy {
+			return finemoe.NewFineMoE(store.Clone(), finemoe.FineMoEOptions{})
+		}},
+		{"MoE-Infinity", func() finemoe.Policy { return finemoe.NewMoEInfinity(cfg) }},
+		{"ProMoE", func() finemoe.Policy { return finemoe.NewProMoE(model) }},
+		{"Mixtral-Offload", func() finemoe.Policy { return finemoe.NewMixtralOffload(model) }},
+		{"DeepSpeed", func() finemoe.Policy { return finemoe.NewDeepSpeed() }},
+	}
+
+	fmt.Printf("%-16s %10s %10s %10s\n", "system", "ttft(ms)", "tpot(ms)", "hit rate")
+	for _, sys := range systems {
+		eng := finemoe.NewEngine(finemoe.EngineOptions{
+			Model: model, GPU: finemoe.RTX3090(), NumGPUs: 6,
+			CacheBytes: cacheBytes, Policy: sys.build(),
+		})
+		res := eng.RunOffline(testReqs, nil)
+		fmt.Printf("%-16s %10.1f %10.1f %10.3f\n",
+			sys.name, res.MeanTTFT, res.MeanTPOT, res.HitRate)
+	}
+	fmt.Println("\nExpected shape (paper Fig. 10): FineMoE lowest latency;")
+	fmt.Println("DeepSpeed hit rate 1.0 but worst latency; MoE-Infinity lowest hit rate.")
+}

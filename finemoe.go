@@ -1,0 +1,256 @@
+// Package finemoe is a research-grade reproduction of "Taming
+// Latency-Memory Trade-Off in MoE-Based LLM Serving via Fine-Grained Expert
+// Offloading" (FineMoE, EuroSys '26).
+//
+// The package exposes the system's public surface:
+//
+//   - MoE model configurations matching the paper's Table 1 and a
+//     statistically calibrated gate-network simulator (the substitute for a
+//     GPU inference stack — see DESIGN.md for the substitution argument);
+//   - the FineMoE policy: expert maps, the Expert Map Store with
+//     redundancy-scored deduplication, semantic+trajectory search,
+//     similarity-aware δ-threshold prefetching, and priority-driven
+//     caching/eviction;
+//   - the four baselines the paper compares against (DeepSpeed-Inference,
+//     Mixtral-Offloading, ProMoE, MoE-Infinity) plus No-Offload;
+//   - a virtual-time serving engine over a simulated multi-GPU cluster with
+//     offline and online (trace-driven) runners;
+//   - workload generators standing in for LMSYS-Chat-1M, ShareGPT and the
+//     Azure inference traces;
+//   - the experiment harness reproducing every table and figure of the
+//     paper's evaluation (§6).
+//
+// Quick start:
+//
+//	cfg := finemoe.Mixtral8x7B()
+//	model := finemoe.NewModel(cfg, 42)
+//	ds := finemoe.LMSYSChat1M()
+//	reqs := ds.Sample(finemoe.WorkloadOptions{Dim: cfg.SemDim, N: 96, Seed: 1, FixedLengths: true})
+//	storeReqs, testReqs := finemoe.SplitRequests(reqs, 0.7)
+//
+//	store := finemoe.BuildStoreFromRequests(model, storeReqs, 1000)
+//	pol := finemoe.NewFineMoE(store, finemoe.FineMoEOptions{})
+//	eng := finemoe.NewEngine(finemoe.EngineOptions{
+//		Model: model, GPU: finemoe.RTX3090(), NumGPUs: 6, Policy: pol,
+//	})
+//	res := eng.RunOffline(testReqs, nil)
+//	fmt.Printf("TTFT %.0f ms, TPOT %.0f ms, hit rate %.3f\n",
+//		res.MeanTTFT, res.MeanTPOT, res.HitRate)
+package finemoe
+
+import (
+	"finemoe/internal/baselines"
+	"finemoe/internal/core"
+	"finemoe/internal/experiments"
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+	"finemoe/internal/policy"
+	"finemoe/internal/serve"
+	"finemoe/internal/workload"
+)
+
+// --- Models -----------------------------------------------------------------
+
+// ModelConfig describes an MoE model architecture and its simulated gate
+// statistics.
+type ModelConfig = moe.Config
+
+// Model is a simulated MoE gate network.
+type Model = moe.Model
+
+// Iteration is the observable outcome of one inference iteration.
+type Iteration = moe.Iteration
+
+// ExpertRef addresses one offloadable expert (layer, index).
+type ExpertRef = moe.ExpertRef
+
+// Mixtral8x7B returns the Mixtral-8x7B configuration (Table 1).
+func Mixtral8x7B() ModelConfig { return moe.Mixtral8x7B() }
+
+// Qwen15MoE returns the Qwen1.5-MoE-A2.7B configuration (Table 1).
+func Qwen15MoE() ModelConfig { return moe.Qwen15MoE() }
+
+// Phi35MoE returns the Phi-3.5-MoE configuration (Table 1).
+func Phi35MoE() ModelConfig { return moe.Phi35MoE() }
+
+// TinyModel returns a small configuration for tests and demos.
+func TinyModel() ModelConfig { return moe.Tiny() }
+
+// PaperModels returns the three models of the paper's evaluation.
+func PaperModels() []ModelConfig { return moe.PaperModels() }
+
+// NewModel builds a deterministic simulated gate network.
+func NewModel(cfg ModelConfig, seed uint64) *Model { return moe.NewModel(cfg, seed) }
+
+// --- Workloads ----------------------------------------------------------------
+
+// Dataset is a synthetic prompt population.
+type Dataset = workload.Dataset
+
+// Request is one serving request.
+type Request = workload.Request
+
+// WorkloadOptions controls request sampling.
+type WorkloadOptions = workload.Options
+
+// TraceConfig parameterizes an online arrival trace.
+type TraceConfig = workload.TraceConfig
+
+// LMSYSChat1M returns the synthetic LMSYS-Chat-1M stand-in.
+func LMSYSChat1M() Dataset { return workload.LMSYSChat1M() }
+
+// ShareGPT returns the synthetic ShareGPT stand-in.
+func ShareGPT() Dataset { return workload.ShareGPT() }
+
+// SplitRequests partitions requests store-building/test by fraction (the
+// paper's 70/30 protocol).
+func SplitRequests(reqs []Request, storeFrac float64) (store, test []Request) {
+	return workload.Split(reqs, storeFrac)
+}
+
+// AzureTrace samples an online trace with Poisson arrivals.
+func AzureTrace(d Dataset, dim int, tc TraceConfig) []Request {
+	return workload.AzureTrace(d, dim, tc)
+}
+
+// --- Hardware -----------------------------------------------------------------
+
+// GPUSpec describes a simulated device.
+type GPUSpec = memsim.GPUSpec
+
+// RTX3090 returns the paper's six-GPU testbed device.
+func RTX3090() GPUSpec { return memsim.RTX3090() }
+
+// A100 returns the §6.5 high-end device.
+func A100() GPUSpec { return memsim.A100() }
+
+// --- FineMoE core ---------------------------------------------------------------
+
+// ExpertMap records one iteration's gate distributions plus its semantic
+// embedding (§4.1).
+type ExpertMap = core.ExpertMap
+
+// Store is the Expert Map Store (§4.4).
+type Store = core.Store
+
+// FineMoEOptions configures the FineMoE policy.
+type FineMoEOptions = core.Options
+
+// FineMoE is the paper's fine-grained expert offloading policy.
+type FineMoE = core.FineMoE
+
+// NewStore builds an empty Expert Map Store (capacity <= 0 uses the paper's
+// 1K default).
+func NewStore(cfg ModelConfig, capacity, prefetchDistance int) *Store {
+	return core.NewStore(cfg, capacity, prefetchDistance)
+}
+
+// BuildStoreFromRequests populates a store by simulating the given requests
+// (the offline 70% split). The prefetch distance defaults to the model's
+// profiled optimum.
+func BuildStoreFromRequests(m *Model, reqs []Request, capacity int) *Store {
+	traces := make(map[uint64][]*Iteration, len(reqs))
+	for _, q := range reqs {
+		traces[q.ID] = m.Trace(q.PromptSpec)
+	}
+	return core.BuildStore(m.Cfg, capacity, m.Cfg.OptimalPrefetchDistance, traces)
+}
+
+// NewFineMoE builds the FineMoE policy around a store.
+func NewFineMoE(store *Store, opts FineMoEOptions) *FineMoE {
+	return core.NewFineMoE(store, opts)
+}
+
+// Searcher performs semantic and trajectory expert-map search (§4.2).
+type Searcher = core.Searcher
+
+// SearchResult is a searched map with its similarity score.
+type SearchResult = core.SearchResult
+
+// NewSearcher builds a searcher over a store; prefilter bounds trajectory
+// candidates to the semantic top-N (<=0 searches the full store).
+func NewSearcher(store *Store, prefilter int) *Searcher {
+	return core.NewSearcher(store, prefilter)
+}
+
+// --- Baselines ------------------------------------------------------------------
+
+// Policy is the engine-facing offloading policy interface.
+type Policy = policy.Policy
+
+// NewDeepSpeed returns the DeepSpeed-Inference baseline (§6.1).
+func NewDeepSpeed() Policy { return baselines.NewDeepSpeed() }
+
+// NewMixtralOffload returns the Mixtral-Offloading baseline (§6.1).
+func NewMixtralOffload(m *Model) Policy { return baselines.NewMixtralOffload(m) }
+
+// NewProMoE returns the ProMoE baseline (§6.1).
+func NewProMoE(m *Model) Policy { return baselines.NewProMoE(m) }
+
+// NewMoEInfinity returns the MoE-Infinity baseline with an empty matrix
+// collection (§6.1).
+func NewMoEInfinity(cfg ModelConfig) Policy {
+	return baselines.NewMoEInfinity(baselines.NewEAMCollection(cfg))
+}
+
+// NewNoOffload returns the no-offloading upper bound (pair with
+// EngineOptions.PreloadAll).
+func NewNoOffload() Policy { return baselines.NewNoOffload() }
+
+// --- Serving engine --------------------------------------------------------------
+
+// EngineOptions configures a serving run.
+type EngineOptions = serve.Options
+
+// Engine executes serving runs on the simulated cluster.
+type Engine = serve.Engine
+
+// Result aggregates a serving run's metrics.
+type Result = serve.Result
+
+// RequestMetrics records one served request.
+type RequestMetrics = serve.RequestMetrics
+
+// NewEngine builds an engine; construct a fresh engine (and policy) per run.
+func NewEngine(opts EngineOptions) *Engine { return serve.New(opts) }
+
+// --- Experiment harness ------------------------------------------------------------
+
+// ExperimentScale sizes experiment workloads.
+type ExperimentScale = experiments.Scale
+
+// ExperimentOutput is a reproduced table/figure.
+type ExperimentOutput = experiments.Output
+
+// ExperimentEntry names a registered experiment.
+type ExperimentEntry = experiments.Entry
+
+// FullScale reproduces the paper's workload parameters.
+func FullScale() ExperimentScale { return experiments.Full }
+
+// SmallScale is a fast configuration for tests and demos.
+func SmallScale() ExperimentScale { return experiments.Small }
+
+// ListExperiments enumerates every reproducible table and figure.
+func ListExperiments() []ExperimentEntry { return experiments.List() }
+
+// RunExperiment executes one experiment by ID ("fig10", "tab1", ...).
+func RunExperiment(scale ExperimentScale, seed uint64, id string) (*ExperimentOutput, error) {
+	return experiments.Run(experiments.NewContext(scale, seed), id)
+}
+
+// RunExperiments executes several experiments sharing simulation state
+// (models, gate traces, prototype stores), which is much cheaper than
+// running them independently.
+func RunExperiments(scale ExperimentScale, seed uint64, ids ...string) ([]*ExperimentOutput, error) {
+	ctx := experiments.NewContext(scale, seed)
+	out := make([]*ExperimentOutput, 0, len(ids))
+	for _, id := range ids {
+		o, err := experiments.Run(ctx, id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

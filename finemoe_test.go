@@ -1,0 +1,115 @@
+package finemoe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the documented public-API path end to end.
+func TestQuickstartFlow(t *testing.T) {
+	cfg := TinyModel()
+	model := NewModel(cfg, 42)
+	ds := LMSYSChat1M()
+	ds.Topics = 6
+	reqs := ds.Sample(WorkloadOptions{Dim: cfg.SemDim, N: 20, Seed: 1, FixedLengths: true})
+	for i := range reqs {
+		reqs[i].InputTokens, reqs[i].OutputTokens = 6, 8
+	}
+	storeReqs, testReqs := SplitRequests(reqs, 0.7)
+	if len(storeReqs) != 14 || len(testReqs) != 6 {
+		t.Fatalf("split %d/%d", len(storeReqs), len(testReqs))
+	}
+
+	store := BuildStoreFromRequests(model, storeReqs, 200)
+	if store.Len() == 0 {
+		t.Fatal("store empty after build")
+	}
+	pol := NewFineMoE(store, FineMoEOptions{})
+	eng := NewEngine(EngineOptions{
+		Model: model, GPU: RTX3090(), NumGPUs: 2,
+		CacheBytes: cfg.ExpertBytes() * int64(cfg.NumExperts()) / 2,
+		Policy:     pol,
+	})
+	res := eng.RunOffline(testReqs, nil)
+	if res.MeanTTFT <= 0 || res.MeanTPOT <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.HitRate <= 0.3 {
+		t.Fatalf("hit rate %.3f implausibly low", res.HitRate)
+	}
+	if res.Policy != "FineMoE" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	cfg := TinyModel()
+	m := NewModel(cfg, 1)
+	pols := []Policy{
+		NewDeepSpeed(), NewMixtralOffload(m), NewProMoE(m),
+		NewMoEInfinity(cfg), NewNoOffload(),
+	}
+	names := map[string]bool{}
+	for _, p := range pols {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"DeepSpeed", "Mixtral-Offload", "ProMoE", "MoE-Infinity", "No-offload"} {
+		if !names[want] {
+			t.Errorf("missing baseline %s", want)
+		}
+	}
+}
+
+func TestPaperModelAccessors(t *testing.T) {
+	if Mixtral8x7B().Name != "Mixtral-8x7B" || Qwen15MoE().Name != "Qwen1.5-MoE" || Phi35MoE().Name != "Phi-3.5-MoE" {
+		t.Fatal("model names wrong")
+	}
+	if len(PaperModels()) != 3 {
+		t.Fatal("paper models count")
+	}
+	if RTX3090().MemBytes != 24<<30 || A100().MemBytes != 80<<30 {
+		t.Fatal("GPU specs wrong")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	entries := ListExperiments()
+	if len(entries) < 19 {
+		t.Fatalf("experiments registered: %d", len(entries))
+	}
+	out, err := RunExperiment(SmallScale(), 7, "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Mixtral") {
+		t.Fatal("tab1 output missing model rows")
+	}
+	outs, err := RunExperiments(SmallScale(), 7, "tab1", "fig18")
+	if err != nil || len(outs) != 2 {
+		t.Fatalf("RunExperiments: %v (%d)", err, len(outs))
+	}
+	if _, err := RunExperiment(SmallScale(), 7, "not-an-experiment"); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestOnlineFacade(t *testing.T) {
+	cfg := TinyModel()
+	model := NewModel(cfg, 9)
+	ds := ShareGPT()
+	ds.Topics = 6
+	trace := AzureTrace(ds, cfg.SemDim, TraceConfig{RatePerSec: 50, N: 6, Seed: 2})
+	for i := range trace {
+		trace[i].InputTokens, trace[i].OutputTokens = 5, 6
+	}
+	pol := NewFineMoE(NewStore(cfg, 100, 2), FineMoEOptions{})
+	eng := NewEngine(EngineOptions{
+		Model: model, GPU: RTX3090(), NumGPUs: 2,
+		CacheBytes: cfg.ExpertBytes() * int64(cfg.NumExperts()) / 2,
+		Policy:     pol, MaxBatch: 4,
+	})
+	res := eng.RunOnline(trace, nil)
+	if len(res.Requests) != 6 {
+		t.Fatalf("served %d", len(res.Requests))
+	}
+}

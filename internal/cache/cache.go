@@ -1,0 +1,321 @@
+// Package cache implements the Expert Cache (§4.5): per-GPU capacity-bounded
+// residency of expert weights with pluggable eviction policies.
+//
+// The paper compares three eviction disciplines on this cache: LRU
+// (Mixtral-Offloading), LFU (MoE-Infinity), and FineMoE's searched-map
+// priority 1/(p·freq). Eviction is expressed through the Scorer interface so
+// the ablation of Fig. 14b swaps policies without touching cache mechanics.
+package cache
+
+import (
+	"fmt"
+
+	"finemoe/internal/moe"
+)
+
+// Meta is the per-entry bookkeeping exposed to eviction scorers.
+type Meta struct {
+	// Freq counts cache hits on the entry (LFU's signal).
+	Freq int
+	// LastUse is the virtual time of the last hit (LRU's signal).
+	LastUse float64
+	// Inserted is the virtual time the entry became resident.
+	Inserted float64
+	// Pinned entries are in use by the current layer and are evicted
+	// only as a last resort.
+	Pinned bool
+}
+
+// Scorer ranks cache entries for eviction; the entry with the highest score
+// is evicted first.
+type Scorer interface {
+	// Score returns the eviction priority of a resident expert.
+	Score(ref moe.ExpertRef, m Meta, now float64) float64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// LRU evicts the least-recently-used expert. The paper notes LRU fights the
+// layer-sequential access pattern of MoE inference (§4.5), which Fig. 14b's
+// ablation confirms.
+type LRU struct{}
+
+// Score implements Scorer: older last-use evicts first.
+func (LRU) Score(_ moe.ExpertRef, m Meta, now float64) float64 { return now - m.LastUse }
+
+// Name implements Scorer.
+func (LRU) Name() string { return "LRU" }
+
+// LFU evicts the least-frequently-used expert (MoE-Infinity's policy).
+// Frequency is measured as a use rate over residency time rather than a raw
+// count: without aging, long-resident entries with stale high counts would
+// permanently starve fresh prefetches (the classic LFU pathology), which no
+// production LFU implements.
+type LFU struct{}
+
+// Score implements Scorer: the lowest use rate evicts first.
+func (LFU) Score(_ moe.ExpertRef, m Meta, now float64) float64 {
+	age := now - m.Inserted
+	if age < 1 {
+		age = 1
+	}
+	rate := float64(m.Freq) / age
+	return 1 / (rate + 1e-9)
+}
+
+// Name implements Scorer.
+func (LFU) Name() string { return "LFU" }
+
+// Stats aggregates cache activity counters.
+type Stats struct {
+	Hits, Misses    int
+	Insertions      int
+	Evictions       int
+	PinnedEvictions int
+	RejectedInserts int
+	PeakResidentExp int
+	CurrentResident int
+}
+
+// Cache is a single device's expert cache, sized in whole experts (the
+// paper's §3.3 notes all experts of a model share one weight size, so byte
+// capacity reduces to an expert-count capacity).
+type Cache struct {
+	capacity int
+	entries  map[moe.ExpertRef]*Meta
+	scorer   Scorer
+	stats    Stats
+}
+
+// New builds a cache holding at most capacity experts under the given
+// eviction scorer. A zero capacity cache holds nothing (DeepSpeed-style
+// pure on-demand configurations still use a small cache; capacity 0 is
+// allowed for stress tests).
+func New(capacity int, scorer Scorer) *Cache {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
+	}
+	if scorer == nil {
+		panic("cache: nil scorer")
+	}
+	return &Cache{capacity: capacity, entries: map[moe.ExpertRef]*Meta{}, scorer: scorer}
+}
+
+// Capacity returns the expert-count capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident experts.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports residency without touching usage stats.
+func (c *Cache) Contains(ref moe.ExpertRef) bool {
+	_, ok := c.entries[ref]
+	return ok
+}
+
+// Lookup records a hit or miss at time now and returns residency. Hits
+// update LFU/LRU bookkeeping.
+func (c *Cache) Lookup(ref moe.ExpertRef, now float64) bool {
+	if m, ok := c.entries[ref]; ok {
+		m.Freq++
+		m.LastUse = now
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Pin marks a resident expert as in use by the executing layer.
+// Pinning a non-resident expert is a no-op.
+func (c *Cache) Pin(ref moe.ExpertRef) {
+	if m, ok := c.entries[ref]; ok {
+		m.Pinned = true
+	}
+}
+
+// Unpin clears a pin.
+func (c *Cache) Unpin(ref moe.ExpertRef) {
+	if m, ok := c.entries[ref]; ok {
+		m.Pinned = false
+	}
+}
+
+// UnpinAll clears every pin (called at layer completion).
+func (c *Cache) UnpinAll() {
+	for _, m := range c.entries {
+		m.Pinned = false
+	}
+}
+
+// Insert makes ref resident at time now, evicting by scorer as needed, and
+// returns the evicted experts. Inserting a resident expert refreshes
+// nothing and returns nil. If capacity is zero the insert is rejected.
+func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
+	if c.capacity == 0 {
+		c.stats.RejectedInserts++
+		return nil
+	}
+	if c.Contains(ref) {
+		return nil
+	}
+	var evicted []moe.ExpertRef
+	for len(c.entries) >= c.capacity {
+		victim, ok := c.pickVictim(now)
+		if !ok {
+			// Everything is pinned; evict anyway (last resort) so
+			// the activated expert can be served — but count it.
+			victim, ok = c.pickVictimIncludingPinned(now)
+			if !ok {
+				c.stats.RejectedInserts++
+				return evicted
+			}
+			c.stats.PinnedEvictions++
+		}
+		delete(c.entries, victim)
+		c.stats.Evictions++
+		evicted = append(evicted, victim)
+	}
+	c.entries[ref] = &Meta{Freq: 1, LastUse: now, Inserted: now}
+	c.stats.Insertions++
+	if len(c.entries) > c.stats.PeakResidentExp {
+		c.stats.PeakResidentExp = len(c.entries)
+	}
+	return evicted
+}
+
+func (c *Cache) pickVictim(now float64) (moe.ExpertRef, bool) {
+	var best moe.ExpertRef
+	bestScore := 0.0
+	found := false
+	for ref, m := range c.entries {
+		if m.Pinned {
+			continue
+		}
+		s := c.scorer.Score(ref, *m, now)
+		if !found || s > bestScore || (s == bestScore && less(ref, best)) {
+			best, bestScore, found = ref, s, true
+		}
+	}
+	return best, found
+}
+
+func (c *Cache) pickVictimIncludingPinned(now float64) (moe.ExpertRef, bool) {
+	var best moe.ExpertRef
+	bestScore := 0.0
+	found := false
+	for ref, m := range c.entries {
+		s := c.scorer.Score(ref, *m, now)
+		if !found || s > bestScore || (s == bestScore && less(ref, best)) {
+			best, bestScore, found = ref, s, true
+		}
+	}
+	return best, found
+}
+
+// less gives deterministic tie-breaking across map iteration order.
+func less(a, b moe.ExpertRef) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	return a.Expert < b.Expert
+}
+
+// Stats returns a copy of the counters with CurrentResident refreshed.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.CurrentResident = len(c.entries)
+	return s
+}
+
+// Residents returns all resident experts (order unspecified). Intended for
+// tests and debugging.
+func (c *Cache) Residents() []moe.ExpertRef {
+	out := make([]moe.ExpertRef, 0, len(c.entries))
+	for ref := range c.entries {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// Set shards an expert cache across the GPUs of an expert-parallel cluster:
+// expert (l,j) resides only on its owning device, so each device gets an
+// equal share of the total cache budget.
+type Set struct {
+	cfg    moe.Config
+	n      int
+	caches []*Cache
+}
+
+// NewSet splits a total byte budget across n devices. Each device's
+// capacity is budget/n bytes divided by the model's expert size.
+func NewSet(cfg moe.Config, n int, totalBytes int64, scorer Scorer) *Set {
+	if n <= 0 {
+		panic("cache: non-positive device count")
+	}
+	perDev := int(totalBytes / int64(n) / cfg.ExpertBytes())
+	s := &Set{cfg: cfg, n: n}
+	for i := 0; i < n; i++ {
+		s.caches = append(s.caches, New(perDev, scorer))
+	}
+	return s
+}
+
+// gpuFor mirrors the cluster's round-robin placement.
+func (s *Set) gpuFor(ref moe.ExpertRef) int { return s.cfg.RefID(ref) % s.n }
+
+// For returns the device cache owning ref.
+func (s *Set) For(ref moe.ExpertRef) *Cache { return s.caches[s.gpuFor(ref)] }
+
+// Device returns device i's cache.
+func (s *Set) Device(i int) *Cache { return s.caches[i] }
+
+// Devices returns the number of shards.
+func (s *Set) Devices() int { return s.n }
+
+// Contains reports residency of ref.
+func (s *Set) Contains(ref moe.ExpertRef) bool { return s.For(ref).Contains(ref) }
+
+// Lookup records a hit/miss on the owning device.
+func (s *Set) Lookup(ref moe.ExpertRef, now float64) bool { return s.For(ref).Lookup(ref, now) }
+
+// Insert makes ref resident on its owning device.
+func (s *Set) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
+	return s.For(ref).Insert(ref, now)
+}
+
+// Pin pins ref on its owning device.
+func (s *Set) Pin(ref moe.ExpertRef) { s.For(ref).Pin(ref) }
+
+// UnpinAll clears pins on every device.
+func (s *Set) UnpinAll() {
+	for _, c := range s.caches {
+		c.UnpinAll()
+	}
+}
+
+// Stats sums counters across devices.
+func (s *Set) Stats() Stats {
+	var out Stats
+	for _, c := range s.caches {
+		cs := c.Stats()
+		out.Hits += cs.Hits
+		out.Misses += cs.Misses
+		out.Insertions += cs.Insertions
+		out.Evictions += cs.Evictions
+		out.PinnedEvictions += cs.PinnedEvictions
+		out.RejectedInserts += cs.RejectedInserts
+		out.PeakResidentExp += cs.PeakResidentExp
+		out.CurrentResident += cs.CurrentResident
+	}
+	return out
+}
+
+// TotalCapacity returns the cluster-wide expert capacity.
+func (s *Set) TotalCapacity() int {
+	n := 0
+	for _, c := range s.caches {
+		n += c.Capacity()
+	}
+	return n
+}

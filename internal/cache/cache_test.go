@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+)
+
+func ref(l, e int) moe.ExpertRef { return moe.ExpertRef{Layer: l, Expert: e} }
+
+func TestInsertAndLookup(t *testing.T) {
+	c := New(2, LRU{})
+	if c.Lookup(ref(0, 0), 0) {
+		t.Fatal("lookup hit on empty cache")
+	}
+	c.Insert(ref(0, 0), 1)
+	if !c.Lookup(ref(0, 0), 2) {
+		t.Fatal("lookup missed resident expert")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Insertions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(3, LRU{})
+	for i := 0; i < 10; i++ {
+		c.Insert(ref(0, i), float64(i))
+		if c.Len() > 3 {
+			t.Fatalf("capacity exceeded: %d", c.Len())
+		}
+	}
+	if c.Stats().Evictions != 7 {
+		t.Fatalf("evictions %d, want 7", c.Stats().Evictions)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := New(2, LRU{})
+	c.Insert(ref(0, 0), 0)
+	c.Insert(ref(0, 1), 1)
+	c.Lookup(ref(0, 0), 2) // refresh 0
+	ev := c.Insert(ref(0, 2), 3)
+	if len(ev) != 1 || ev[0] != ref(0, 1) {
+		t.Fatalf("LRU evicted %v, want (0,1)", ev)
+	}
+	if !c.Contains(ref(0, 0)) || !c.Contains(ref(0, 2)) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := New(2, LFU{})
+	c.Insert(ref(0, 0), 0)
+	c.Insert(ref(0, 1), 1)
+	c.Lookup(ref(0, 0), 2)
+	c.Lookup(ref(0, 0), 3)
+	c.Lookup(ref(0, 1), 4) // freq: 0 -> 3 uses, 1 -> 2 uses
+	ev := c.Insert(ref(0, 2), 5)
+	if len(ev) != 1 || ev[0] != ref(0, 1) {
+		t.Fatalf("LFU evicted %v, want (0,1)", ev)
+	}
+}
+
+func TestInsertResidentIsNoop(t *testing.T) {
+	c := New(2, LRU{})
+	c.Insert(ref(0, 0), 0)
+	if ev := c.Insert(ref(0, 0), 1); ev != nil {
+		t.Fatalf("re-insert evicted %v", ev)
+	}
+	if c.Stats().Insertions != 1 {
+		t.Fatal("re-insert counted")
+	}
+}
+
+func TestPinProtectsFromEviction(t *testing.T) {
+	c := New(2, LRU{})
+	c.Insert(ref(0, 0), 0)
+	c.Insert(ref(0, 1), 1)
+	c.Pin(ref(0, 0)) // oldest, would be LRU victim
+	ev := c.Insert(ref(0, 2), 2)
+	if len(ev) != 1 || ev[0] != ref(0, 1) {
+		t.Fatalf("evicted %v despite pin, want (0,1)", ev)
+	}
+	c.UnpinAll()
+	ev = c.Insert(ref(0, 3), 3)
+	if len(ev) != 1 || ev[0] != ref(0, 0) {
+		t.Fatalf("after unpin evicted %v, want (0,0)", ev)
+	}
+}
+
+func TestAllPinnedLastResortEviction(t *testing.T) {
+	c := New(1, LRU{})
+	c.Insert(ref(0, 0), 0)
+	c.Pin(ref(0, 0))
+	ev := c.Insert(ref(0, 1), 1)
+	if len(ev) != 1 || ev[0] != ref(0, 0) {
+		t.Fatalf("last-resort eviction failed: %v", ev)
+	}
+	if c.Stats().PinnedEvictions != 1 {
+		t.Fatal("pinned eviction not counted")
+	}
+}
+
+func TestZeroCapacityRejects(t *testing.T) {
+	c := New(0, LRU{})
+	c.Insert(ref(0, 0), 0)
+	if c.Len() != 0 || c.Stats().RejectedInserts != 1 {
+		t.Fatalf("zero-capacity cache accepted insert: %+v", c.Stats())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative capacity": func() { New(-1, LRU{}) },
+		"nil scorer":        func() { New(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// With identical metadata, the victim must be the smallest ref, not
+	// map-iteration-order dependent.
+	for trial := 0; trial < 10; trial++ {
+		c := New(3, LFU{})
+		c.Insert(ref(2, 0), 0)
+		c.Insert(ref(1, 5), 0)
+		c.Insert(ref(1, 2), 0)
+		ev := c.Insert(ref(0, 0), 1)
+		if len(ev) != 1 || ev[0] != ref(1, 2) {
+			t.Fatalf("trial %d: tie-break evicted %v, want (1,2)", trial, ev)
+		}
+	}
+}
+
+func TestSetSharding(t *testing.T) {
+	cfg := moe.Tiny() // 4 layers x 6 experts, tiny expert bytes
+	total := cfg.ExpertBytes() * 12
+	s := NewSet(cfg, 3, total, LRU{})
+	if s.Devices() != 3 {
+		t.Fatal("device count")
+	}
+	if s.TotalCapacity() != 12 {
+		t.Fatalf("total capacity %d, want 12", s.TotalCapacity())
+	}
+	// Placement must match round-robin by flat ID.
+	r := ref(1, 2) // id = 1*6+2 = 8 -> gpu 8%3 = 2
+	s.Insert(r, 0)
+	if !s.Device(2).Contains(r) || s.Device(0).Contains(r) {
+		t.Fatal("expert landed on wrong device")
+	}
+	if !s.Contains(r) || !s.Lookup(r, 1) {
+		t.Fatal("set lookup failed")
+	}
+}
+
+func TestSetStatsAggregate(t *testing.T) {
+	cfg := moe.Tiny()
+	s := NewSet(cfg, 2, cfg.ExpertBytes()*4, LRU{})
+	s.Insert(ref(0, 0), 0)
+	s.Insert(ref(0, 1), 0)
+	s.Lookup(ref(0, 0), 1)
+	s.Lookup(ref(3, 3), 1)
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 2 {
+		t.Fatalf("aggregate stats %+v", st)
+	}
+}
+
+func TestSetPinning(t *testing.T) {
+	cfg := moe.Tiny()
+	s := NewSet(cfg, 2, cfg.ExpertBytes()*2, LRU{})
+	s.Insert(ref(0, 0), 0)
+	s.Pin(ref(0, 0))
+	s.UnpinAll()
+	// No crash and still resident.
+	if !s.Contains(ref(0, 0)) {
+		t.Fatal("pinned expert lost")
+	}
+}
+
+// TestCacheInvariantProperty: under random operation sequences, Len never
+// exceeds capacity and stats stay consistent.
+func TestCacheInvariantProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		capacity := 1 + rr.Intn(8)
+		var scorer Scorer = LRU{}
+		if rr.Intn(2) == 0 {
+			scorer = LFU{}
+		}
+		c := New(capacity, scorer)
+		inserts := 0
+		for op := 0; op < 200; op++ {
+			rf := ref(rr.Intn(4), rr.Intn(8))
+			now := float64(op)
+			switch rr.Intn(4) {
+			case 0:
+				before := c.Contains(rf)
+				c.Insert(rf, now)
+				if !before {
+					inserts++
+				}
+			case 1:
+				c.Lookup(rf, now)
+			case 2:
+				c.Pin(rf)
+			case 3:
+				c.UnpinAll()
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Insertions == inserts && s.Insertions-s.Evictions == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	if (LRU{}).Name() != "LRU" || (LFU{}).Name() != "LFU" {
+		t.Fatal("scorer names wrong")
+	}
+}

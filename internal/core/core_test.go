@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+)
+
+func testPrompt(cfg moe.Config, id, topic uint64, in, out int) moe.PromptSpec {
+	dir := rng.UnitVecFor(cfg.SemDim, 777, topic)
+	emb := tensor.Copy(dir)
+	noise := make([]float64, cfg.SemDim)
+	rng.New(rng.Mix(888, id)).UnitVec(noise)
+	tensor.Axpy(0.12, noise, emb)
+	tensor.Normalize(emb)
+	return moe.PromptSpec{ID: id, Embedding: emb, InputTokens: in, OutputTokens: out, Seed: rng.Mix(999, id)}
+}
+
+func buildTestStore(t *testing.T, cfg moe.Config, m *moe.Model, nPrompts int, capacity int) *Store {
+	t.Helper()
+	traces := map[uint64][]*moe.Iteration{}
+	for i := uint64(0); i < uint64(nPrompts); i++ {
+		traces[i] = m.Trace(testPrompt(cfg, i, i%8, 6, 8))
+	}
+	return BuildStore(cfg, capacity, 2, traces)
+}
+
+func TestExpertMapConstruction(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 1)
+	it := m.Trace(testPrompt(cfg, 1, 0, 4, 2))[1]
+	em := NewExpertMap(cfg, 1, it)
+	if len(em.Traj) != cfg.Layers*cfg.RoutedExperts {
+		t.Fatalf("traj length %d", len(em.Traj))
+	}
+	if len(em.Sem) != cfg.SemDim {
+		t.Fatalf("sem length %d", len(em.Sem))
+	}
+	// LayerProbs round trip.
+	p := em.LayerProbs(1, cfg.RoutedExperts)
+	for j, v := range p {
+		if math.Abs(v-it.Probs[1][j]) > 1e-6 {
+			t.Fatalf("layer probs mismatch at %d", j)
+		}
+	}
+	// Bytes matches the Fig. 18 accounting.
+	if em.Bytes() != cfg.MapBytes() {
+		t.Fatalf("map bytes %d != config %d", em.Bytes(), cfg.MapBytes())
+	}
+}
+
+func TestExpertMapPanicsOnShapeMismatch(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 1)
+	it := m.Trace(testPrompt(cfg, 1, 0, 4, 2))[0]
+	bad := cfg
+	bad.Layers++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExpertMap(bad, 1, it)
+}
+
+func TestStoreCapacityAndDedup(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 2)
+	s := NewStore(cfg, 10, 2)
+	for i := uint64(0); i < 5; i++ {
+		for _, it := range m.Trace(testPrompt(cfg, i, i, 4, 4)) {
+			s.AddIteration(i, it)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("store len %d, want capacity 10", s.Len())
+	}
+	st := s.Stats()
+	if st.Adds != 20 || st.Replaced != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s.MemoryBytes() != 10*cfg.MapBytes() {
+		t.Fatalf("memory %d", s.MemoryBytes())
+	}
+}
+
+// TestDedupPreservesDiversity: with a full store, adding a near-duplicate
+// map should replace a similar incumbent, not a dissimilar one.
+func TestDedupPreservesDiversity(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 3)
+	s := NewStore(cfg, 4, 2)
+	s.SetDedupSample(0) // exact §4.4 dedup
+	// Two distinct topics, two maps each.
+	tA := m.Trace(testPrompt(cfg, 1, 0, 4, 3))
+	tB := m.Trace(testPrompt(cfg, 2, 5, 4, 3))
+	s.AddIteration(1, tA[0])
+	s.AddIteration(1, tA[1])
+	s.AddIteration(2, tB[0])
+	s.AddIteration(2, tB[1])
+	// New map from topic 0 should evict a topic-0 incumbent.
+	extra := m.Trace(testPrompt(cfg, 3, 0, 4, 2))
+	s.AddIteration(3, extra[1])
+	var topicB int
+	for _, em := range s.Snapshot() {
+		if em.ReqID == 2 {
+			topicB++
+		}
+	}
+	if topicB != 2 {
+		t.Fatalf("dedup evicted a diverse map: topic-B survivors = %d, want 2", topicB)
+	}
+}
+
+func TestRedundancySelfIsMax(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 4)
+	s := NewStore(cfg, 4, 2)
+	iters := m.Trace(testPrompt(cfg, 1, 0, 4, 3))
+	a := NewExpertMap(cfg, 1, iters[0])
+	b := NewExpertMap(cfg, 1, iters[2])
+	if got := s.Redundancy(a, a); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("self redundancy %v, want 1", got)
+	}
+	if s.Redundancy(a, b) >= s.Redundancy(a, a) {
+		t.Fatal("distinct map as redundant as self")
+	}
+}
+
+func TestSemanticSearchFindsSameTopic(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 5)
+	s := buildTestStore(t, cfg, m, 16, 200)
+	searcher := NewSearcher(s, 0)
+	// Query with a fresh prompt from topic 3.
+	q := m.Trace(testPrompt(cfg, 100, 3, 4, 2))
+	res, ok := searcher.SemanticSearch(q[0].Semantic)
+	if !ok {
+		t.Fatal("search failed on populated store")
+	}
+	if res.Score < 0.7 {
+		t.Fatalf("same-topic semantic score %.3f too low", res.Score)
+	}
+	// The matched map should come from a topic-3 request (IDs 3, 11 mod 8 == 3).
+	if res.Map.ReqID%8 != 3 {
+		t.Fatalf("matched request %d, not from topic 3", res.Map.ReqID)
+	}
+}
+
+func TestSemanticSearchEmptyStore(t *testing.T) {
+	cfg := moe.Tiny()
+	s := NewStore(cfg, 10, 2)
+	searcher := NewSearcher(s, 0)
+	if _, ok := searcher.SemanticSearch(make([]float64, cfg.SemDim)); ok {
+		t.Fatal("search on empty store returned a result")
+	}
+	if searcher.NewCursor(make([]float64, cfg.SemDim)) != nil {
+		t.Fatal("cursor on empty store")
+	}
+}
+
+func TestCursorMatchesExactTrajectory(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 6)
+	s := buildTestStore(t, cfg, m, 12, 300)
+	// Insert a known iteration and query with its own prefix: the cursor
+	// must find it with score ~1.
+	target := m.Trace(testPrompt(cfg, 500, 2, 4, 3))[1]
+	s.AddIteration(500, target)
+	searcher := NewSearcher(s, 0)
+	cur := searcher.NewCursor(target.Semantic)
+	for l := 0; l < cfg.Layers; l++ {
+		cur.Observe(target.Probs[l])
+	}
+	res, ok := cur.Best()
+	if !ok {
+		t.Fatal("cursor found nothing")
+	}
+	if res.Map.ReqID != 500 || res.Score < 0.9999 {
+		t.Fatalf("self-match failed: req %d score %.5f", res.Map.ReqID, res.Score)
+	}
+}
+
+// TestCursorIncrementalEqualsDirect: the incremental prefix cosine must
+// equal a direct cosine over the flattened prefix.
+func TestCursorIncrementalEqualsDirect(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 7)
+	s := buildTestStore(t, cfg, m, 6, 100)
+	searcher := NewSearcher(s, 0)
+	q := m.Trace(testPrompt(cfg, 600, 1, 4, 3))[1]
+	cur := searcher.NewCursor(q.Semantic)
+	for l := 0; l < 3; l++ {
+		cur.Observe(q.Probs[l])
+	}
+	res, ok := cur.Best()
+	if !ok {
+		t.Fatal("no result")
+	}
+	// Direct recomputation over every stored map.
+	prefix := moe.FlattenProbs(q, 3)
+	bestScore := -2.0
+	for _, em := range s.Snapshot() {
+		stored := tensor.Float64s(em.Traj[:3*cfg.RoutedExperts])
+		if c := tensor.Cosine(prefix, stored); c > bestScore {
+			bestScore = c
+		}
+	}
+	if math.Abs(res.Score-bestScore) > 1e-6 {
+		t.Fatalf("incremental %.6f != direct %.6f", res.Score, bestScore)
+	}
+}
+
+func TestCursorPanics(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 8)
+	s := buildTestStore(t, cfg, m, 4, 50)
+	searcher := NewSearcher(s, 0)
+	q := m.Trace(testPrompt(cfg, 700, 0, 4, 2))[1]
+	cur := searcher.NewCursor(q.Semantic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong expert count")
+		}
+	}()
+	cur.Observe(make([]float64, cfg.RoutedExperts+1))
+}
+
+func TestPrefilterSubsetsCandidates(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 9)
+	s := buildTestStore(t, cfg, m, 16, 300)
+	q := m.Trace(testPrompt(cfg, 800, 2, 4, 2))[1]
+	full := NewSearcher(s, 0).NewCursor(q.Semantic)
+	pre := NewSearcher(s, 8).NewCursor(q.Semantic)
+	if len(pre.cands) != 8 {
+		t.Fatalf("prefilter candidates %d, want 8", len(pre.cands))
+	}
+	if len(full.cands) != s.Len() {
+		t.Fatalf("full candidates %d, want %d", len(full.cands), s.Len())
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(1) != 0 || Threshold(0) != 1 || Threshold(-0.5) != 1 {
+		t.Fatal("threshold endpoints wrong")
+	}
+	if got := Threshold(0.8); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("threshold(0.8) = %v", got)
+	}
+}
+
+// TestSelectExpertsAdaptive: low scores must select at least as many experts
+// as high scores (the δ mechanism's entire point, §4.3).
+func TestSelectExpertsAdaptive(t *testing.T) {
+	probs := []float64{0.4, 0.3, 0.15, 0.1, 0.05}
+	high := SelectExperts(probs, 0.95, 2)
+	low := SelectExperts(probs, 0.1, 2)
+	if len(high) > len(low) {
+		t.Fatalf("high score selected %d > low score %d", len(high), len(low))
+	}
+	if len(high) < 2 {
+		t.Fatalf("minimum top-K violated: %v", high)
+	}
+	// Perfect score: exactly K experts.
+	perfect := SelectExperts(probs, 1.0, 2)
+	if len(perfect) != 2 {
+		t.Fatalf("perfect-score selection %v, want 2 experts", perfect)
+	}
+	// Zero score: must cover cumulative 1.0 => all experts.
+	zero := SelectExperts(probs, 0.0, 2)
+	if len(zero) != 5 {
+		t.Fatalf("zero-score selection %v, want all", zero)
+	}
+}
+
+func TestSelectExpertsProperty(t *testing.T) {
+	r := rng.New(10)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		n := 3 + rr.Intn(12)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rr.Float64()
+		}
+		tensor.Normalize1(probs)
+		score := rr.Float64()*2 - 0.5 // include out-of-range scores
+		k := 1 + rr.Intn(3)
+		sel := SelectExperts(probs, score, k)
+		if len(sel) < min(k, n) || len(sel) > n {
+			return false
+		}
+		var cum float64
+		for _, j := range sel {
+			cum += probs[j]
+		}
+		return cum >= Threshold(score)-1e-9 || len(sel) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorities(t *testing.T) {
+	// Closer layers and higher probabilities first.
+	if PrefetchPriority(0.5, 5, 4) <= PrefetchPriority(0.5, 8, 4) {
+		t.Fatal("closer layer must have higher prefetch priority")
+	}
+	if PrefetchPriority(0.9, 5, 4) <= PrefetchPriority(0.1, 5, 4) {
+		t.Fatal("higher probability must have higher prefetch priority")
+	}
+	if PrefetchPriority(0.5, 4, 4) != 0.5 {
+		t.Fatal("distance clamps at 1")
+	}
+	// Eviction: low probability and low frequency evict first.
+	if EvictPriority(0.1, 1) <= EvictPriority(0.9, 1) {
+		t.Fatal("low-probability experts must evict first")
+	}
+	if EvictPriority(0.5, 1) <= EvictPriority(0.5, 10) {
+		t.Fatal("low-frequency experts must evict first")
+	}
+	if math.IsInf(EvictPriority(0, 0), 0) || math.IsNaN(EvictPriority(0, 0)) {
+		t.Fatal("eviction priority must be finite")
+	}
+}
+
+// TestSearchGuidedPredictionBeatsChance: predicted expert sets from searched
+// maps must overlap the true activations far better than random selection.
+func TestSearchGuidedPredictionBeatsChance(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 11)
+	s := buildTestStore(t, cfg, m, 24, 500)
+	searcher := NewSearcher(s, 0)
+	var hit, n float64
+	for q := uint64(300); q < 306; q++ {
+		iters := m.Trace(testPrompt(cfg, q, q%8, 4, 6))
+		for _, it := range iters[1:] {
+			res, ok := searcher.SemanticSearch(it.Semantic)
+			if !ok {
+				t.Fatal("no semantic result")
+			}
+			for l := 0; l < cfg.Layers; l++ {
+				pred := SelectExperts(res.Map.LayerProbs(l, cfg.RoutedExperts), res.Score, cfg.TopK)
+				hit += tensor.OverlapRatio(it.Active[l], pred)
+				n++
+			}
+		}
+	}
+	rate := hit / n
+	chance := float64(cfg.TopK) / float64(cfg.RoutedExperts)
+	if rate < chance+0.25 {
+		t.Fatalf("search-guided hit rate %.3f not clearly above chance %.3f", rate, chance)
+	}
+}
+
+func TestStoreStatsAndAccessors(t *testing.T) {
+	cfg := moe.Tiny()
+	s := NewStore(cfg, 0, 0) // defaults
+	if s.Capacity() != 1000 || s.PrefetchDistance() != 1 {
+		t.Fatalf("defaults wrong: %d, %d", s.Capacity(), s.PrefetchDistance())
+	}
+	if s.Config().Name != cfg.Name {
+		t.Fatal("config accessor wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

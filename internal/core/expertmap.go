@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: the expert map
+// data structure (§4.1), the Expert Map Store with redundancy-scored
+// deduplication (§4.4), the semantic/trajectory Expert Map Searcher (§4.2),
+// similarity-aware expert selection with the dynamic threshold δ (§4.3),
+// the prefetch/eviction priorities (§4.5), and the FineMoE serving policy
+// that ties them together.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+)
+
+// ExpertMap records one inference iteration in fine granularity: the gate
+// network's probability distribution over experts at every layer, plus the
+// iteration's semantic embedding (§4.1). Maps are immutable once stored;
+// probabilities are kept in float32, matching the paper's PyTorch/NumPy
+// ndarray storage and its Fig. 18 memory accounting.
+type ExpertMap struct {
+	// ReqID and Iter identify the iteration that produced the map.
+	ReqID uint64
+	Iter  int
+	// Sem is the iteration's semantic embedding (SemDim floats).
+	Sem []float32
+	// Traj is the L×J row-major matrix of per-layer gate distributions.
+	Traj []float32
+	// prefixNorm2[l] caches ||Traj[0 : (l+1)·J]||² so trajectory-prefix
+	// cosine search is O(J) per layer instead of O(l·J).
+	prefixNorm2 []float64
+}
+
+// NewExpertMap builds a map from an observed iteration.
+func NewExpertMap(cfg moe.Config, reqID uint64, it *moe.Iteration) *ExpertMap {
+	if len(it.Probs) != cfg.Layers {
+		panic(fmt.Sprintf("core: iteration has %d layers, model %d", len(it.Probs), cfg.Layers))
+	}
+	m := &ExpertMap{
+		ReqID: reqID,
+		Iter:  it.Index,
+		Sem:   tensor.Float32s(it.Semantic),
+		Traj:  make([]float32, cfg.Layers*cfg.RoutedExperts),
+	}
+	for l, p := range it.Probs {
+		if len(p) != cfg.RoutedExperts {
+			panic(fmt.Sprintf("core: layer %d has %d experts, model %d", l, len(p), cfg.RoutedExperts))
+		}
+		for j, v := range p {
+			m.Traj[l*cfg.RoutedExperts+j] = float32(v)
+		}
+	}
+	m.buildPrefixNorms(cfg.RoutedExperts)
+	return m
+}
+
+func (m *ExpertMap) buildPrefixNorms(j int) {
+	layers := len(m.Traj) / j
+	m.prefixNorm2 = make([]float64, layers)
+	var acc float64
+	for l := 0; l < layers; l++ {
+		for _, v := range m.Traj[l*j : (l+1)*j] {
+			acc += float64(v) * float64(v)
+		}
+		m.prefixNorm2[l] = acc
+	}
+}
+
+// LayerProbs returns layer l's stored distribution as float64.
+func (m *ExpertMap) LayerProbs(l, j int) []float64 {
+	return tensor.Float64s(m.Traj[l*j : (l+1)*j])
+}
+
+// Bytes returns the paper-accounted storage size of this map: trajectory
+// plus embedding at 4 bytes per value (Fig. 18).
+func (m *ExpertMap) Bytes() int64 { return int64(len(m.Traj)+len(m.Sem)) * 4 }
+
+// Store is the Expert Map Store (§3.2): a capacity-bounded collection of
+// expert maps acting as the message broker between the inference process
+// (publisher of new iteration contexts) and the Expert Map Searcher
+// (subscriber). When full, redundancy-scored deduplication replaces the
+// stored map most similar to the incoming one, preserving diversity (§4.4).
+//
+// Store is safe for concurrent use; returned snapshots are immutable.
+type Store struct {
+	mu       sync.RWMutex
+	cfg      moe.Config
+	capacity int
+	// d is the prefetch distance used to weight semantic vs trajectory
+	// redundancy: RDY = d/L·sem + (L−d)/L·traj (§4.4).
+	d    int
+	maps []*ExpertMap
+
+	// dedupSample bounds how many stored maps each insertion is compared
+	// against once the store is full (sampled uniformly); 0 compares
+	// against everything, reproducing §4.4 exactly at higher cost.
+	dedupSample int
+	sampleRNG   *rng.RNG
+	// dedupOff replaces redundancy-scored dedup with FIFO replacement
+	// (ablation).
+	dedupOff bool
+	fifoNext int
+
+	adds, replaced int
+}
+
+// NewStore builds a store with the paper's default capacity of 1K maps
+// (§6.7) when capacity <= 0.
+func NewStore(cfg moe.Config, capacity, prefetchDistance int) *Store {
+	if capacity <= 0 {
+		capacity = 1000
+	}
+	if prefetchDistance <= 0 {
+		prefetchDistance = 1
+	}
+	return &Store{
+		cfg:         cfg,
+		capacity:    capacity,
+		d:           prefetchDistance,
+		dedupSample: 96,
+		sampleRNG:   rng.New(rng.Mix(0x57, uint64(capacity))),
+	}
+}
+
+// SetDedupSample overrides the dedup comparison sample size (0 = full
+// pairwise comparison, the paper's exact formulation).
+func (s *Store) SetDedupSample(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedupSample = n
+}
+
+// Capacity returns the configured map capacity.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Len returns the number of stored maps.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.maps)
+}
+
+// MemoryBytes returns the CPU-memory footprint of the stored maps — the
+// quantity of the paper's Fig. 18.
+func (s *Store) MemoryBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.maps) == 0 {
+		return 0
+	}
+	return int64(len(s.maps)) * s.maps[0].Bytes()
+}
+
+// Add inserts a map, deduplicating against the incumbent population when at
+// capacity: the stored map with the highest redundancy score against the
+// newcomer is replaced (§4.4).
+func (s *Store) Add(m *ExpertMap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adds++
+	if len(s.maps) < s.capacity {
+		s.maps = append(s.maps, m)
+		return
+	}
+	var idx int
+	if s.dedupOff {
+		idx = s.fifoNext % len(s.maps)
+		s.fifoNext++
+	} else {
+		idx = s.mostRedundantLocked(m)
+	}
+	s.maps[idx] = m
+	s.replaced++
+}
+
+// AddIteration records an observed iteration (the paper's Step 5).
+func (s *Store) AddIteration(reqID uint64, it *moe.Iteration) {
+	s.Add(NewExpertMap(s.cfg, reqID, it))
+}
+
+// Redundancy returns RDY(a,b) = d/L·cos(sem) + (L−d)/L·cos(traj) (§4.4).
+func (s *Store) Redundancy(a, b *ExpertMap) float64 {
+	w := float64(s.d) / float64(s.cfg.Layers)
+	return w*tensor.CosineF32(a.Sem, b.Sem) + (1-w)*tensor.CosineF32(a.Traj, b.Traj)
+}
+
+func (s *Store) mostRedundantLocked(m *ExpertMap) int {
+	n := len(s.maps)
+	bestIdx, bestScore := 0, math.Inf(-1)
+	if s.dedupSample > 0 && s.dedupSample < n {
+		for k := 0; k < s.dedupSample; k++ {
+			i := s.sampleRNG.Intn(n)
+			if r := s.Redundancy(m, s.maps[i]); r > bestScore {
+				bestIdx, bestScore = i, r
+			}
+		}
+		return bestIdx
+	}
+	for i, old := range s.maps {
+		if r := s.Redundancy(m, old); r > bestScore {
+			bestIdx, bestScore = i, r
+		}
+	}
+	return bestIdx
+}
+
+// Clone returns an independent store with the same configuration and the
+// current map population. Maps are immutable and shared; subsequent Adds to
+// either store do not affect the other. The experiment harness clones one
+// prototype store per (model, dataset) so each serving run mutates its own
+// copy.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore(s.cfg, s.capacity, s.d)
+	c.dedupSample = s.dedupSample
+	c.dedupOff = s.dedupOff
+	c.maps = make([]*ExpertMap, len(s.maps))
+	copy(c.maps, s.maps)
+	return c
+}
+
+// SetDedupDisabled switches the at-capacity replacement rule from
+// redundancy-scored dedup (§4.4) to plain FIFO ring replacement — the
+// store-management ablation.
+func (s *Store) SetDedupDisabled(off bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedupOff = off
+}
+
+// Snapshot returns the current map population. The slice is a copy; the
+// maps are shared immutable records, so concurrent searches over a
+// snapshot are race-free while inserts continue.
+func (s *Store) Snapshot() []*ExpertMap {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*ExpertMap, len(s.maps))
+	copy(out, s.maps)
+	return out
+}
+
+// StoreStats summarizes store churn.
+type StoreStats struct {
+	Len, Capacity  int
+	Adds, Replaced int
+	MemoryBytes    int64
+	PrefetchDist   int
+}
+
+// Stats returns store statistics.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var mem int64
+	if len(s.maps) > 0 {
+		mem = int64(len(s.maps)) * s.maps[0].Bytes()
+	}
+	return StoreStats{
+		Len: len(s.maps), Capacity: s.capacity,
+		Adds: s.adds, Replaced: s.replaced,
+		MemoryBytes: mem, PrefetchDist: s.d,
+	}
+}
+
+// Config returns the model configuration the store was built for.
+func (s *Store) Config() moe.Config { return s.cfg }
+
+// PrefetchDistance returns the distance weighting dedup and search.
+func (s *Store) PrefetchDistance() int { return s.d }
+
+// BuildStore populates a store from full request traces — the offline
+// evaluation's "70% of the prompts' context data" preparation (§6.1).
+// Traces are inserted in ascending request-ID order so the store content is
+// deterministic.
+func BuildStore(cfg moe.Config, capacity, prefetchDistance int, traces map[uint64][]*moe.Iteration) *Store {
+	s := NewStore(cfg, capacity, prefetchDistance)
+	ids := make([]uint64, 0, len(traces))
+	for reqID := range traces {
+		ids = append(ids, reqID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, reqID := range ids {
+		for _, it := range traces[reqID] {
+			s.AddIteration(reqID, it)
+		}
+	}
+	return s
+}

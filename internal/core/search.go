@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/tensor"
+)
+
+// SearchResult is a searched expert map with its similarity score — the
+// score drives the dynamic selection threshold δ (§4.3).
+type SearchResult struct {
+	Map   *ExpertMap
+	Score float64
+}
+
+// Searcher implements the Expert Map Searcher (§4.2): semantic-based search
+// guides prefetching for layers [1, d] where no trajectory has been observed
+// yet, and trajectory-based prefix search guides layers [d+1, L].
+type Searcher struct {
+	store *Store
+	cfg   moe.Config
+	// prefilter bounds trajectory-search candidates to the top-N maps by
+	// semantic similarity (0 = search the whole store, the paper's exact
+	// formulation; the prefilter is a performance optimization recorded
+	// in DESIGN.md §6).
+	prefilter int
+}
+
+// NewSearcher builds a searcher over the store. prefilter <= 0 searches the
+// full store for trajectories.
+func NewSearcher(store *Store, prefilter int) *Searcher {
+	return &Searcher{store: store, cfg: store.Config(), prefilter: prefilter}
+}
+
+// SemanticSearch returns the stored map with the highest cosine similarity
+// between semantic embeddings (Eq. 4), or ok=false on an empty store.
+func (s *Searcher) SemanticSearch(sem []float64) (SearchResult, bool) {
+	snap := s.store.Snapshot()
+	if len(snap) == 0 {
+		return SearchResult{}, false
+	}
+	semF := tensor.Float32s(sem)
+	best, bestScore := -1, -2.0
+	for i, m := range snap {
+		if c := tensor.CosineF32(semF, m.Sem); c > bestScore {
+			best, bestScore = i, c
+		}
+	}
+	return SearchResult{Map: snap[best], Score: bestScore}, true
+}
+
+// SemanticLatencyMS models the wall-clock cost of one semantic search over
+// the store: a pairwise cosine against C stored embeddings. The constants
+// are calibrated so a 1K-map store costs a fraction of a millisecond,
+// matching the paper's negligible-overhead claim (§6.8).
+func (s *Searcher) SemanticLatencyMS() float64 {
+	return 0.05 + 1.5e-6*float64(s.store.Len())*float64(s.cfg.SemDim)
+}
+
+// TrajectoryLatencyMS models one trajectory-prefix search step.
+func (s *Searcher) TrajectoryLatencyMS() float64 {
+	n := s.store.Len()
+	if s.prefilter > 0 && s.prefilter < n {
+		n = s.prefilter
+	}
+	return 0.05 + 1.5e-6*float64(n)*float64(s.cfg.RoutedExperts)
+}
+
+// Cursor performs incremental trajectory-prefix search for one request
+// iteration: each observed layer's gate distribution extends the prefix,
+// and Best returns the most similar stored map under Eq. 5 over the
+// observed prefix. Dot products and norms are maintained incrementally so
+// each layer costs O(candidates × J).
+type Cursor struct {
+	cands    []*ExpertMap
+	dots     []float64
+	selfNorm float64
+	layers   int
+	j        int
+	maxLayer int
+}
+
+// NewCursor starts a trajectory search for an iteration. The candidate set
+// is the semantic top-N prefilter when configured, otherwise the full
+// store. Returns nil if the store is empty.
+func (s *Searcher) NewCursor(sem []float64) *Cursor {
+	snap := s.store.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	cands := snap
+	if s.prefilter > 0 && s.prefilter < len(snap) {
+		semF := tensor.Float32s(sem)
+		type scored struct {
+			i int
+			c float64
+		}
+		ss := make([]scored, len(snap))
+		for i, m := range snap {
+			ss[i] = scored{i, tensor.CosineF32(semF, m.Sem)}
+		}
+		sort.Slice(ss, func(a, b int) bool {
+			if ss[a].c != ss[b].c {
+				return ss[a].c > ss[b].c
+			}
+			return ss[a].i < ss[b].i
+		})
+		cands = make([]*ExpertMap, s.prefilter)
+		for i := 0; i < s.prefilter; i++ {
+			cands[i] = snap[ss[i].i]
+		}
+	}
+	return &Cursor{
+		cands:    cands,
+		dots:     make([]float64, len(cands)),
+		j:        s.cfg.RoutedExperts,
+		maxLayer: s.cfg.Layers,
+	}
+}
+
+// Observe extends the prefix with the gate distribution of the next layer.
+func (c *Cursor) Observe(probs []float64) {
+	if c == nil {
+		return
+	}
+	if c.layers >= c.maxLayer {
+		panic("core: cursor observed more layers than the model has")
+	}
+	if len(probs) != c.j {
+		panic("core: cursor observed wrong expert count")
+	}
+	base := c.layers * c.j
+	for i, m := range c.cands {
+		row := m.Traj[base : base+c.j]
+		var d float64
+		for k, p := range probs {
+			d += p * float64(row[k])
+		}
+		c.dots[i] += d
+	}
+	var n float64
+	for _, p := range probs {
+		n += p * p
+	}
+	c.selfNorm += n
+	c.layers++
+}
+
+// Layers returns how many layers the cursor has observed.
+func (c *Cursor) Layers() int {
+	if c == nil {
+		return 0
+	}
+	return c.layers
+}
+
+// Best returns the most similar stored map over the observed prefix
+// (Eq. 5), or ok=false before any layer has been observed.
+func (c *Cursor) Best() (SearchResult, bool) {
+	if c == nil || c.layers == 0 || c.selfNorm == 0 {
+		return SearchResult{}, false
+	}
+	bestIdx, bestScore := -1, -2.0
+	for i, m := range c.cands {
+		pn := m.prefixNorm2[c.layers-1]
+		if pn == 0 {
+			continue
+		}
+		score := c.dots[i] / math.Sqrt(c.selfNorm*pn)
+		if score > bestScore {
+			bestIdx, bestScore = i, score
+		}
+	}
+	if bestIdx < 0 {
+		return SearchResult{}, false
+	}
+	return SearchResult{Map: c.cands[bestIdx], Score: tensor.Clip(bestScore, -1, 1)}, true
+}

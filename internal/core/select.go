@@ -1,0 +1,53 @@
+package core
+
+import (
+	"finemoe/internal/tensor"
+)
+
+// Threshold computes the dynamic expert-selection threshold
+// δ = Clip(1 − score, 0, 1) (§4.3): low-confidence searches prefetch more
+// experts to absorb mispredictions, high-confidence searches prefetch fewer
+// to save memory and bandwidth.
+func Threshold(score float64) float64 {
+	return tensor.Clip(1-score, 0, 1)
+}
+
+// SelectExperts returns the experts to prefetch for one layer given the
+// searched map's distribution and the search score: the smallest
+// highest-probability set whose cumulative probability reaches δ(score),
+// but never fewer than topK experts (Eq. 6–8).
+func SelectExperts(probs []float64, score float64, topK int) []int {
+	return tensor.CumulativeTopSet(probs, Threshold(score), topK)
+}
+
+// SelectExpertsStatic returns a fixed top-K selection, the Map(T+S) ablation
+// of Fig. 14a that disables the dynamic threshold.
+func SelectExpertsStatic(probs []float64, topK int) []int {
+	return tensor.TopK(probs, topK)
+}
+
+// PrefetchPriority returns the paper's prefetching priority
+// p/(l − l_now) (§4.5): higher-probability experts closer to the current
+// layer transfer first.
+func PrefetchPriority(p float64, layer, lNow int) float64 {
+	dist := layer - lNow
+	if dist < 1 {
+		dist = 1
+	}
+	return p / float64(dist)
+}
+
+// EvictPriority returns the paper's eviction priority 1/(p·freq) (§4.5):
+// experts that are unlikely under the searched map and rarely hit evict
+// first. p is floored to keep never-predicted experts finite but maximally
+// evictable.
+func EvictPriority(p float64, freq int) float64 {
+	const pFloor = 1e-3
+	if p < pFloor {
+		p = pFloor
+	}
+	if freq < 1 {
+		freq = 1
+	}
+	return 1 / (p * float64(freq))
+}

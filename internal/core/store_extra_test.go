@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"finemoe/internal/moe"
+)
+
+func TestStoreCloneIndependence(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 61)
+	s := NewStore(cfg, 50, 2)
+	for _, it := range m.Trace(testPrompt(cfg, 1, 0, 4, 5)) {
+		s.AddIteration(1, it)
+	}
+	clone := s.Clone()
+	if clone.Len() != s.Len() || clone.Capacity() != s.Capacity() {
+		t.Fatalf("clone shape: %d/%d vs %d/%d", clone.Len(), clone.Capacity(), s.Len(), s.Capacity())
+	}
+	// Mutating the clone must not touch the original.
+	for _, it := range m.Trace(testPrompt(cfg, 2, 1, 4, 5)) {
+		clone.AddIteration(2, it)
+	}
+	if s.Len() == clone.Len() {
+		t.Fatal("clone shares mutable state with the original")
+	}
+	// Shared maps are identical pointers (cheap clone).
+	if s.Snapshot()[0] != clone.Snapshot()[0] {
+		t.Fatal("clone copied immutable maps needlessly")
+	}
+}
+
+func TestDedupDisabledFIFO(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 62)
+	s := NewStore(cfg, 3, 2)
+	s.SetDedupDisabled(true)
+	iters := m.Trace(testPrompt(cfg, 1, 0, 4, 6))
+	for i, it := range iters {
+		s.AddIteration(uint64(i), it)
+	}
+	// FIFO: after 6 adds into capacity 3, the replacement cursor wrapped
+	// once; survivors must be the most recent window in ring order.
+	snap := s.Snapshot()
+	seen := map[int]bool{}
+	for _, em := range snap {
+		seen[em.Iter] = true
+	}
+	for _, want := range []int{3, 4, 5} {
+		if !seen[want] {
+			t.Fatalf("FIFO survivors wrong: %v", seen)
+		}
+	}
+}
+
+func TestStoreConcurrentAddAndSearch(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 63)
+	s := NewStore(cfg, 100, 2)
+	searcher := NewSearcher(s, 0)
+	base := m.Trace(testPrompt(cfg, 1, 0, 4, 4))
+	for _, it := range base {
+		s.AddIteration(1, it)
+	}
+	var wg sync.WaitGroup
+	// Writers publish new maps while readers search snapshots — the
+	// §4.3 publisher/subscriber pattern must be race-free (run under
+	// -race in CI).
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			iters := m.Trace(testPrompt(cfg, seed, seed%3, 4, 6))
+			for _, it := range iters {
+				s.AddIteration(seed, it)
+			}
+		}(uint64(w + 10))
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, ok := searcher.SemanticSearch(base[0].Semantic); !ok {
+					t.Error("search failed on non-empty store")
+					return
+				}
+				cur := searcher.NewCursor(base[0].Semantic)
+				for l := 0; l < cfg.Layers; l++ {
+					cur.Observe(base[0].Probs[l])
+				}
+				if _, ok := cur.Best(); !ok {
+					t.Error("cursor found nothing")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPredictIterationAblationMonotone(t *testing.T) {
+	// More features should not reduce prediction quality on average.
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 64)
+	s := buildTestStore(t, cfg, m, 20, 300)
+	searcher := NewSearcher(s, 0)
+	var tOnly, ts, tsd float64
+	var n int
+	for q := uint64(200); q < 206; q++ {
+		iters := m.Trace(testPrompt(cfg, q, q%8, 4, 6))
+		for _, it := range iters[1:] {
+			tOnly += PredictIteration(searcher, it, PredictOptions{D: 2, UseTrajectory: true}).HitRate(it)
+			ts += PredictIteration(searcher, it, PredictOptions{D: 2, UseTrajectory: true, UseSemantic: true}).HitRate(it)
+			tsd += PredictIteration(searcher, it, PredictOptions{D: 2, UseTrajectory: true, UseSemantic: true, Dynamic: true}).HitRate(it)
+			n++
+		}
+	}
+	f := float64(n)
+	if ts/f < tOnly/f {
+		t.Fatalf("semantic guidance reduced hit rate: %.3f -> %.3f", tOnly/f, ts/f)
+	}
+	if tsd/f < ts/f-0.01 {
+		t.Fatalf("dynamic threshold reduced hit rate: %.3f -> %.3f", ts/f, tsd/f)
+	}
+}
+
+func TestPredictIterationDefaults(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 65)
+	s := buildTestStore(t, cfg, m, 8, 100)
+	searcher := NewSearcher(s, 0)
+	it := m.Trace(testPrompt(cfg, 300, 0, 4, 2))[1]
+	// Zero-value options: D and TopK default sensibly.
+	pred := PredictIteration(searcher, it, PredictOptions{UseSemantic: true, UseTrajectory: true})
+	if len(pred.Sets) != cfg.Layers {
+		t.Fatalf("sets length %d", len(pred.Sets))
+	}
+	nonNil := 0
+	for _, s := range pred.Sets {
+		if s != nil {
+			nonNil++
+		}
+	}
+	if nonNil != cfg.Layers {
+		t.Fatalf("guided layers %d, want all %d", nonNil, cfg.Layers)
+	}
+}
+
+func TestSearchLatencyModelsScale(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 66)
+	small := buildTestStore(t, cfg, m, 4, 40)
+	big := buildTestStore(t, cfg, m, 20, 400)
+	sSmall := NewSearcher(small, 0)
+	sBig := NewSearcher(big, 0)
+	if sSmall.SemanticLatencyMS() >= sBig.SemanticLatencyMS() {
+		t.Fatal("semantic search latency must grow with store size")
+	}
+	if sSmall.TrajectoryLatencyMS() >= sBig.TrajectoryLatencyMS() {
+		t.Fatal("trajectory search latency must grow with store size")
+	}
+	// Prefilter caps the trajectory latency.
+	sCapped := NewSearcher(big, 8)
+	if sCapped.TrajectoryLatencyMS() >= sBig.TrajectoryLatencyMS() {
+		t.Fatal("prefilter did not cap trajectory search latency")
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finemoe/internal/baselines"
+	"finemoe/internal/cache"
+	"finemoe/internal/core"
+	"finemoe/internal/metrics"
+	"finemoe/internal/moe"
+	"finemoe/internal/policy"
+	"finemoe/internal/serve"
+	"finemoe/internal/tensor"
+	"finemoe/internal/workload"
+)
+
+func init() {
+	register("fig14a", "Fig 14a: ablation of expert pattern tracking approaches", runFig14a)
+	register("fig14b", "Fig 14b: ablation of prefetching and caching policies", runFig14b)
+	register("fig15", "Fig 15: performance vs prefetch distance", runFig15)
+	register("abl-sync", "Ablation: synchronous vs asynchronous map search", runAblSync)
+	register("abl-ep", "Ablation: expert-parallel degree", runAblEP)
+	register("abl-dedup", "Ablation: store dedup vs FIFO replacement", runAblDedup)
+}
+
+// runFig14a evaluates the five expert-pattern tracking approaches at each
+// model's profiled prefetch distance: Speculate, Hit count (EAM), Map(T),
+// Map(T+S), Map(T+S+δ). All run through the same prediction protocol for
+// fairness (§6.6).
+func runFig14a(c *Context) (*Output, error) {
+	ds := workload.LMSYSChat1M()
+	t := metrics.NewTable("model", "Speculate", "HitCount", "Map(T)", "Map(T+S)", "Map(T+S+d)")
+	for _, cfg := range paperModels() {
+		m := c.Model(cfg)
+		d := cfg.OptimalPrefetchDistance
+		_, testReqs := c.OfflineSplit(cfg, ds)
+		testTraces := c.Traces(cfg, "test/"+ds.Name, testReqs)
+		searcher := core.NewSearcher(c.StoreProto(cfg, ds, d), 128)
+		coll := c.EAMProto(cfg, ds)
+
+		var spec, hitCount, mapT, mapTS, mapTSD float64
+		var n int
+		probs := make([]float64, cfg.RoutedExperts)
+		for _, q := range testReqs[:minInt(len(testReqs), 8)] {
+			iters := testTraces[q.ID]
+			history := baselines.NewEAM(cfg)
+			for _, it := range iters {
+				if it.Index%3 == 1 {
+					// Speculate: gate applied to the hidden
+					// state d layers back.
+					sets := make([][]int, cfg.Layers)
+					for l := d; l < cfg.Layers; l++ {
+						m.Speculate(it.Hidden[l-d], l, probs)
+						sets[l] = tensor.TopK(probs, cfg.TopK)
+					}
+					spec += moe.IterationHitRate(it, sets)
+
+					hitCount += moe.IterationHitRate(it,
+						baselines.CoarsePredict(cfg, coll, history, cfg.TopK))
+
+					mapT += core.PredictIteration(searcher, it, core.PredictOptions{
+						D: d, TopK: cfg.TopK, UseTrajectory: true,
+					}).HitRate(it)
+					mapTS += core.PredictIteration(searcher, it, core.PredictOptions{
+						D: d, TopK: cfg.TopK, UseTrajectory: true, UseSemantic: true,
+					}).HitRate(it)
+					mapTSD += core.PredictIteration(searcher, it, core.PredictOptions{
+						D: d, TopK: cfg.TopK, UseTrajectory: true, UseSemantic: true, Dynamic: true,
+					}).HitRate(it)
+					n++
+				}
+				history.ObserveIteration(cfg, it)
+			}
+		}
+		f := float64(n)
+		t.Row(cfg.Name, spec/f, hitCount/f, mapT/f, mapTS/f, mapTSD/f)
+	}
+	return &Output{ID: "fig14a", Title: "Expert pattern tracking ablation (LMSYS)", Table: t,
+		Notes: []string{
+			"paper shape: hit rate rises as expert-map features are restored (Map(T) < Map(T+S) <= Map(T+S+d))",
+			"paper places request-level hit counting last; in this reproduction speculation at the profiled distance can fall below it (see EXPERIMENTS.md)",
+		}}, nil
+}
+
+// runFig14b compares eviction policies under the full FineMoE prefetching
+// stack: LRU, LFU, and FineMoE's similarity-aware 1/(p·freq).
+func runFig14b(c *Context) (*Output, error) {
+	ds := workload.LMSYSChat1M()
+	t := metrics.NewTable("model", "LRU", "LFU", "FineMoE")
+	for _, cfg := range paperModels() {
+		d := cfg.OptimalPrefetchDistance
+		row := []any{cfg.Name}
+		for _, scorer := range []cache.Scorer{cache.LRU{}, cache.LFU{}, nil} {
+			sys := system{
+				name: "FineMoE-evict",
+				build: func() policy.Policy {
+					return core.NewFineMoE(c.StoreProto(cfg, ds, d).Clone(), core.Options{
+						PrefetchDistance: d,
+						EvictionScorer:   scorer,
+					})
+				},
+				cacheFrac: leanCacheFrac,
+			}
+			res := runOffline(c, cfg, ds, sys, defaultBatchSize)
+			row = append(row, res.HitRate)
+		}
+		t.Row(row...)
+	}
+	return &Output{ID: "fig14b", Title: "Prefetching and caching ablation (expert hit rate)", Table: t,
+		Notes: []string{"paper shape: LRU < LFU < FineMoE's similarity-aware eviction"}}, nil
+}
+
+// runFig15 sweeps FineMoE's prefetch distance d from 1 to 8 per model.
+func runFig15(c *Context) (*Output, error) {
+	ds := workload.LMSYSChat1M()
+	distances := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	headers := []string{"model", "metric"}
+	for _, d := range distances {
+		headers = append(headers, fmt.Sprintf("d=%d", d))
+	}
+	t := metrics.NewTable(headers...)
+	plot := metrics.NewPlot("Fig 15 — FineMoE TPOT vs prefetch distance", "d (layers)", "tpot (s)")
+	for _, cfg := range paperModels() {
+		ttftRow := []any{cfg.Name, "ttft_s"}
+		tpotRow := []any{cfg.Name, "tpot_s"}
+		series := metrics.Series{Name: cfg.Name}
+		for _, d := range distances {
+			d := d
+			sys := system{
+				name: "FineMoE",
+				build: func() policy.Policy {
+					return core.NewFineMoE(c.StoreProto(cfg, ds, d).Clone(),
+						core.Options{PrefetchDistance: d})
+				},
+				cacheFrac: leanCacheFrac,
+			}
+			res := runOffline(c, cfg, ds, sys, defaultBatchSize)
+			ttftRow = append(ttftRow, metrics.Seconds(res.MeanTTFT))
+			tpotRow = append(tpotRow, metrics.Seconds(res.MeanTPOT))
+			series.X = append(series.X, float64(d))
+			series.Y = append(series.Y, res.MeanTPOT/1000)
+		}
+		t.Row(ttftRow...)
+		t.Row(tpotRow...)
+		plot.Add(series)
+	}
+	return &Output{ID: "fig15", Title: "FineMoE performance vs prefetch distance", Table: t,
+		Plots: []string{plot.String()},
+		Notes: []string{"paper shape: small d cannot hide search/transfer latency, large d degrades hit rate; paper profiles d=3/6/4 for Mixtral/Qwen/Phi"}}, nil
+}
+
+// runAblSync contrasts FineMoE's asynchronous publisher/subscriber search
+// pipeline with a synchronous variant that blocks inference on every search
+// (the design §4.3 argues against).
+func runAblSync(c *Context) (*Output, error) {
+	ds := workload.LMSYSChat1M()
+	t := metrics.NewTable("model", "mode", "ttft_s", "tpot_s", "hit_rate")
+	for _, cfg := range paperModels() {
+		d := cfg.OptimalPrefetchDistance
+		for _, sync := range []bool{false, true} {
+			sync := sync
+			sys := system{
+				name: "FineMoE",
+				build: func() policy.Policy {
+					return core.NewFineMoE(c.StoreProto(cfg, ds, d).Clone(), core.Options{
+						PrefetchDistance:  d,
+						SynchronousSearch: sync,
+					})
+				},
+				cacheFrac: leanCacheFrac,
+			}
+			mode := "async (FineMoE)"
+			if sync {
+				mode = "synchronous"
+			}
+			res := runOffline(c, cfg, ds, sys, defaultBatchSize)
+			t.Row(cfg.Name, mode, metrics.Seconds(res.MeanTTFT),
+				metrics.Seconds(res.MeanTPOT), res.HitRate)
+		}
+	}
+	return &Output{ID: "abl-sync", Title: "Synchronous vs asynchronous map search", Table: t,
+		Notes: []string{"asynchronous search must not be slower; it hides search latency behind inference (§4.3)"}}, nil
+}
+
+// runAblEP sweeps the expert-parallel degree for FineMoE on Mixtral.
+func runAblEP(c *Context) (*Output, error) {
+	cfg := moe.Mixtral8x7B()
+	ds := workload.LMSYSChat1M()
+	d := cfg.OptimalPrefetchDistance
+	t := metrics.NewTable("gpus", "ttft_s", "tpot_s", "hit_rate")
+	m := c.Model(cfg)
+	_, testReqs := c.OfflineSplit(cfg, ds)
+	traces := c.Traces(cfg, "test/"+ds.Name, testReqs)
+	for _, g := range []int{1, 2, 6} {
+		pol := core.NewFineMoE(c.StoreProto(cfg, ds, d).Clone(), core.Options{PrefetchDistance: d})
+		eng := serve.New(serve.Options{
+			Model: m, GPU: c.GPU, NumGPUs: g,
+			CacheBytes: int64(float64(cfg.TotalExpertBytes()) * leanCacheFrac),
+			Policy:     pol,
+		})
+		res := eng.RunOffline(testReqs, traces)
+		t.Row(g, metrics.Seconds(res.MeanTTFT), metrics.Seconds(res.MeanTPOT), res.HitRate)
+	}
+	return &Output{ID: "abl-ep", Title: "Expert parallelism degree (FineMoE, Mixtral)", Table: t,
+		Notes: []string{"higher EP parallelizes transfers and expert compute across links (§7 discussion)"}}, nil
+}
+
+// runAblDedup contrasts redundancy-scored dedup with FIFO replacement at
+// equal store capacity, measuring searched similarity scores.
+func runAblDedup(c *Context) (*Output, error) {
+	ds := workload.LMSYSChat1M()
+	t := metrics.NewTable("model", "replacement", "mean_sem_score", "mean_traj_score")
+	for _, cfg := range paperModels() {
+		d := cfg.OptimalPrefetchDistance
+		storeReqs, testReqs := c.OfflineSplit(cfg, ds)
+		storeTraces := c.Traces(cfg, "store/"+ds.Name, storeReqs)
+		testTraces := c.Traces(cfg, "test/"+ds.Name, testReqs)
+		// A small store forces replacement pressure so the policies
+		// actually differ.
+		capacity := c.Scale.StoreCapacity / 4
+		for _, fifo := range []bool{false, true} {
+			store := core.NewStore(cfg, capacity, d)
+			store.SetDedupDisabled(fifo)
+			for id := uint64(0); id < uint64(len(storeReqs)); id++ {
+				for _, it := range storeTraces[storeReqs[id].ID] {
+					store.AddIteration(storeReqs[id].ID, it)
+				}
+			}
+			searcher := core.NewSearcher(store, 128)
+			var semSum, trajSum float64
+			var semN, trajN int
+			for _, q := range testReqs[:minInt(len(testReqs), 6)] {
+				for _, it := range testTraces[q.ID][1:minInt(len(testTraces[q.ID]), 4)] {
+					pred := core.PredictIteration(searcher, it, core.PredictOptions{
+						D: d, TopK: cfg.TopK, Dynamic: true, UseSemantic: true, UseTrajectory: true,
+					})
+					semSum += pred.SemScore
+					semN++
+					for _, s := range pred.TrajScores {
+						trajSum += s
+						trajN++
+					}
+				}
+			}
+			mode := "dedup (FineMoE)"
+			if fifo {
+				mode = "FIFO"
+			}
+			t.Row(cfg.Name, mode, semSum/float64(semN), trajSum/float64(trajN))
+		}
+	}
+	return &Output{ID: "abl-dedup", Title: "Store dedup vs FIFO replacement", Table: t,
+		Notes: []string{"dedup keeps the store diverse, raising searched similarity under capacity pressure (§4.4)"}}, nil
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallCtx returns a fresh context at test scale.
+func smallCtx() *Context { return NewContext(Small, 1234) }
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(strings.TrimSuffix(s, " (async)"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("non-numeric cell %q: %v", s, err)
+	}
+	return v
+}
+
+// col returns the index of a header column.
+func col(t *testing.T, headers []string, name string) int {
+	t.Helper()
+	for i, h := range headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, headers)
+	return -1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "fig1b", "fig3a", "fig3b", "fig3c", "fig4", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15",
+		"fig16a", "fig16b", "fig17", "fig18",
+		"abl-sync", "abl-ep", "abl-dedup",
+		"abl-coverage", "abl-evict", "abl-prefilter",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(have), len(want))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run(smallCtx(), "nope"); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at small scale
+// and validates output structure. Shared context amortizes trace building.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is not short")
+	}
+	c := smallCtx()
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(c)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if out.ID != e.ID {
+				t.Fatalf("output ID %q != %q", out.ID, e.ID)
+			}
+			if len(out.Table.Rows()) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if out.String() == "" {
+				t.Fatal("empty render")
+			}
+			// Figure experiments with curves must ship ASCII plots.
+			switch e.ID {
+			case "fig3c", "fig4", "fig11", "fig12", "fig15":
+				if len(out.Plots) == 0 {
+					t.Fatalf("%s produced no plots", e.ID)
+				}
+				for _, p := range out.Plots {
+					if !strings.Contains(p, "|") {
+						t.Fatalf("%s plot missing axis:\n%s", e.ID, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTab1Values spot-checks Table 1 numbers against the paper.
+func TestTab1Values(t *testing.T) {
+	out, err := Run(smallCtx(), "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Table.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	h := out.Table.Header()
+	inactive := col(t, h, "inactive_pct")
+	wantPct := map[string]float64{"Mixtral-8x7B": 72, "Qwen1.5-MoE": 81, "Phi-3.5-MoE": 84}
+	for _, r := range rows {
+		if want := wantPct[r[0]]; want != 0 {
+			if got := cell(t, r[inactive]); got < want-2 || got > want+2 {
+				t.Errorf("%s inactive %.0f%%, paper %v%%", r[0], got, want)
+			}
+		}
+	}
+}
+
+// TestFig10Shape verifies the paper's headline orderings at small scale:
+// FineMoE has the lowest TPOT, DeepSpeed hits 1.0 with the worst latency,
+// and FineMoE's hit rate beats MoE-Infinity's.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving comparison is not short")
+	}
+	out, err := Run(smallCtx(), "fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	sysCol := col(t, h, "system")
+	tpotCol := col(t, h, "tpot_s")
+	hitCol := col(t, h, "hit_rate")
+	dsCol := col(t, h, "dataset")
+	modelCol := col(t, h, "model")
+
+	type key struct{ ds, model string }
+	tpot := map[key]map[string]float64{}
+	hit := map[key]map[string]float64{}
+	for _, r := range out.Table.Rows() {
+		k := key{r[dsCol], r[modelCol]}
+		if tpot[k] == nil {
+			tpot[k] = map[string]float64{}
+			hit[k] = map[string]float64{}
+		}
+		tpot[k][r[sysCol]] = cell(t, r[tpotCol])
+		hit[k][r[sysCol]] = cell(t, r[hitCol])
+	}
+	for k, m := range tpot {
+		for sys, v := range m {
+			if sys == "FineMoE" {
+				continue
+			}
+			if m["FineMoE"] >= v {
+				t.Errorf("%v: FineMoE TPOT %.3f not below %s %.3f", k, m["FineMoE"], sys, v)
+			}
+		}
+		if m["DeepSpeed"] <= m["MoE-Infinity"] {
+			t.Errorf("%v: DeepSpeed TPOT %.3f not worst (MoE-Infinity %.3f)", k, m["DeepSpeed"], m["MoE-Infinity"])
+		}
+	}
+	for k, m := range hit {
+		if m["DeepSpeed"] != 1 {
+			t.Errorf("%v: DeepSpeed hit rate %.3f != 1", k, m["DeepSpeed"])
+		}
+		if m["FineMoE"] <= m["MoE-Infinity"] {
+			t.Errorf("%v: FineMoE hit %.3f not above MoE-Infinity %.3f", k, m["FineMoE"], m["MoE-Infinity"])
+		}
+	}
+}
+
+// TestFig14aShape: full expert-map features must beat request-level hit
+// counting for every model.
+func TestFig14aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is not short")
+	}
+	out, err := Run(smallCtx(), "fig14a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	full := col(t, h, "Map(T+S+d)")
+	hitCount := col(t, h, "HitCount")
+	mapTS := col(t, h, "Map(T+S)")
+	for _, r := range out.Table.Rows() {
+		if cell(t, r[full]) <= cell(t, r[hitCount]) {
+			t.Errorf("%s: Map(T+S+d) %.3f not above HitCount %.3f", r[0], cell(t, r[full]), cell(t, r[hitCount]))
+		}
+		if cell(t, r[full]) < cell(t, r[mapTS])-0.02 {
+			t.Errorf("%s: dynamic threshold hurt hit rate: %.3f vs %.3f", r[0], cell(t, r[full]), cell(t, r[mapTS]))
+		}
+	}
+}
+
+// TestFig4Shape: fine-grained prediction must dominate coarse-grained at
+// every distance.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distance sweep is not short")
+	}
+	out, err := Run(smallCtx(), "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Table.Rows()
+	for i := 0; i+1 < len(rows); i += 2 {
+		fine, coarse := rows[i], rows[i+1]
+		if fine[1] != "fine-grained" || coarse[1] != "coarse-grained" {
+			t.Fatalf("row layout unexpected: %v / %v", fine[:2], coarse[:2])
+		}
+		var fineWins int
+		var cols int
+		for j := 2; j < len(fine); j++ {
+			if fine[j] == "-" || coarse[j] == "-" {
+				continue
+			}
+			cols++
+			if cell(t, fine[j]) > cell(t, coarse[j]) {
+				fineWins++
+			}
+		}
+		if fineWins*2 < cols*2-cols/2 { // allow rare ties at extreme distance
+			t.Errorf("%s: fine-grained won only %d/%d distances", fine[0], fineWins, cols)
+		}
+	}
+}
+
+// TestFig9Shape: correlations must be strongly positive.
+func TestFig9Shape(t *testing.T) {
+	out, err := Run(smallCtx(), "fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	sem := col(t, h, "pearson_semantic")
+	traj := col(t, h, "pearson_trajectory")
+	for _, r := range out.Table.Rows() {
+		if cell(t, r[sem]) < 0.5 || cell(t, r[traj]) < 0.5 {
+			t.Errorf("weak correlation for %s/%s: sem %.3f traj %.3f",
+				r[0], r[1], cell(t, r[sem]), cell(t, r[traj]))
+		}
+	}
+}
+
+// TestFig18Shape: Qwen maps largest; 32K maps < 200 MB.
+func TestFig18Shape(t *testing.T) {
+	out, err := Run(smallCtx(), "fig18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	last := col(t, h, "32K_maps_MB")
+	vals := map[string]float64{}
+	for _, r := range out.Table.Rows() {
+		vals[r[0]] = cell(t, r[last])
+	}
+	if vals["Qwen1.5-MoE"] >= 200 {
+		t.Errorf("Qwen 32K store %.1f MB, paper bound <200", vals["Qwen1.5-MoE"])
+	}
+	if !(vals["Qwen1.5-MoE"] > vals["Phi-3.5-MoE"] && vals["Phi-3.5-MoE"] > vals["Mixtral-8x7B"]) {
+		t.Errorf("store size ordering wrong: %v", vals)
+	}
+}
+
+// TestFig3bShape: coarse entropy must exceed fine for every model/dataset.
+func TestFig3bShape(t *testing.T) {
+	out, err := Run(smallCtx(), "fig3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	coarse := col(t, h, "coarse_entropy")
+	fine := col(t, h, "fine_entropy")
+	for _, r := range out.Table.Rows() {
+		if cell(t, r[coarse]) <= cell(t, r[fine]) {
+			t.Errorf("%s/%s: coarse %.3f <= fine %.3f", r[0], r[1], cell(t, r[coarse]), cell(t, r[fine]))
+		}
+	}
+}
+
+// TestAblSyncShape: asynchronous search must not be slower than the
+// synchronous ablation.
+func TestAblSyncShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving ablation is not short")
+	}
+	out, err := Run(smallCtx(), "abl-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	tpotCol := col(t, h, "tpot_s")
+	rows := out.Table.Rows()
+	for i := 0; i+1 < len(rows); i += 2 {
+		async := cell(t, rows[i][tpotCol])
+		sync := cell(t, rows[i+1][tpotCol])
+		if async > sync*1.001 {
+			t.Errorf("%s: async TPOT %.4f above sync %.4f", rows[i][0], async, sync)
+		}
+	}
+}
+
+// TestAblPrefilterShape: the semantic prefilter must not change prediction
+// quality materially (it only bounds search cost).
+func TestAblPrefilterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prediction sweep is not short")
+	}
+	out, err := Run(smallCtx(), "abl-prefilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	at64 := col(t, h, "hit@64")
+	atFull := col(t, h, "hit@full")
+	for _, r := range out.Table.Rows() {
+		if diff := cell(t, r[at64]) - cell(t, r[atFull]); diff < -0.03 || diff > 0.06 {
+			t.Errorf("%s: prefilter@64 %.3f deviates from full %.3f", r[0], cell(t, r[at64]), cell(t, r[atFull]))
+		}
+	}
+}
+
+// TestAblCoverageShape: coverage must reach ~1.0 at the §4.4 2LJ bound.
+func TestAblCoverageShape(t *testing.T) {
+	out, err := Run(smallCtx(), "abl-coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	frac := col(t, h, "frac>=0.75")
+	ref := col(t, h, "bound_ref")
+	for _, r := range out.Table.Rows() {
+		if strings.Contains(r[ref], "2LJ") && cell(t, r[frac]) < 0.95 {
+			t.Errorf("%s: 75%%-similarity coverage %.3f below the §4.4 bound expectation", r[0], cell(t, r[frac]))
+		}
+	}
+}
+
+// TestFig14bShape: FineMoE's eviction must lead (or tie within noise) and
+// the ordering must hold strictly where capacity pressure exists (Mixtral's
+// 30%-of-experts cache).
+func TestFig14bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving ablation is not short")
+	}
+	out, err := Run(smallCtx(), "fig14b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	lru, lfu, fine := col(t, h, "LRU"), col(t, h, "LFU"), col(t, h, "FineMoE")
+	for _, r := range out.Table.Rows() {
+		if cell(t, r[fine]) < cell(t, r[lru])-0.02 || cell(t, r[fine]) < cell(t, r[lfu])-0.02 {
+			t.Errorf("%s: FineMoE eviction %.3f not leading (LRU %.3f, LFU %.3f)",
+				r[0], cell(t, r[fine]), cell(t, r[lru]), cell(t, r[lfu]))
+		}
+		if r[0] == "Mixtral-8x7B" {
+			if !(cell(t, r[lru]) < cell(t, r[lfu]) && cell(t, r[lfu]) < cell(t, r[fine])) {
+				t.Errorf("Mixtral: eviction ordering LRU<LFU<FineMoE violated: %.3f %.3f %.3f",
+					cell(t, r[lru]), cell(t, r[lfu]), cell(t, r[fine]))
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"finemoe/internal/baselines"
+	"finemoe/internal/core"
+	"finemoe/internal/moe"
+	"finemoe/internal/policy"
+	"finemoe/internal/serve"
+	"finemoe/internal/workload"
+)
+
+// Default cache budgets, as fractions of the model's total expert bytes.
+// The evaluated systems run at their natural operating points (Fig. 1b):
+// MoE-Infinity trades memory for latency with a much larger resident set,
+// while FineMoE and the remaining baselines run lean.
+const (
+	leanCacheFrac    = 0.30
+	moeInfCacheFrac  = 0.55
+	defaultBatchSize = 1
+)
+
+// system describes one configured competitor for a serving experiment.
+type system struct {
+	name string
+	// build constructs a fresh policy (policies are stateful, one per
+	// run).
+	build func() policy.Policy
+	// cacheFrac of total expert bytes (ignored when cacheBytes > 0).
+	cacheFrac float64
+	// cacheBytes overrides the fraction when positive.
+	cacheBytes int64
+	preload    bool
+}
+
+func (s system) engineOptions(c *Context, m *moe.Model, batch int) serve.Options {
+	cfg := m.Cfg
+	bytes := s.cacheBytes
+	if bytes <= 0 {
+		bytes = int64(float64(cfg.TotalExpertBytes()) * s.cacheFrac)
+	}
+	return serve.Options{
+		Model:      m,
+		GPU:        c.GPU,
+		NumGPUs:    c.NumGPUs,
+		CacheBytes: bytes,
+		Policy:     s.build(),
+		BatchSize:  batch,
+		PreloadAll: s.preload,
+	}
+}
+
+// paperSystems returns the five §6.1 competitors configured for offline
+// serving on a model/dataset pair. When warmStores is true the FineMoE
+// store and MoE-Infinity matrices are pre-populated from the 70% split
+// (offline protocol); online serving starts them empty (§6.3).
+func paperSystems(c *Context, cfg moe.Config, ds workload.Dataset, warmStores bool) []system {
+	m := c.Model(cfg)
+	d := cfg.OptimalPrefetchDistance
+	return []system{
+		{
+			name: "FineMoE",
+			build: func() policy.Policy {
+				var store *core.Store
+				if warmStores {
+					store = c.StoreProto(cfg, ds, d).Clone()
+				} else {
+					store = core.NewStore(cfg, c.Scale.StoreCapacity, d)
+				}
+				return core.NewFineMoE(store, core.Options{PrefetchDistance: d})
+			},
+			cacheFrac: leanCacheFrac,
+		},
+		{
+			name: "MoE-Infinity",
+			build: func() policy.Policy {
+				var coll *baselines.EAMCollection
+				if warmStores {
+					coll = c.EAMProto(cfg, ds).Clone()
+				} else {
+					coll = baselines.NewEAMCollection(cfg)
+				}
+				return baselines.NewMoEInfinity(coll)
+			},
+			// Equal cache budgets for the §6.2 comparison — the paper
+			// adds an expert cache to every baseline "for a fair
+			// comparison". Fig. 1b overrides this with MoE-Infinity's
+			// natural high-memory operating point.
+			cacheFrac: leanCacheFrac,
+		},
+		{
+			name:      "ProMoE",
+			build:     func() policy.Policy { return baselines.NewProMoE(m) },
+			cacheFrac: leanCacheFrac,
+		},
+		{
+			name:      "Mixtral-Offload",
+			build:     func() policy.Policy { return baselines.NewMixtralOffload(m) },
+			cacheFrac: leanCacheFrac,
+		},
+		{
+			name:      "DeepSpeed",
+			build:     func() policy.Policy { return baselines.NewDeepSpeed() },
+			cacheFrac: leanCacheFrac,
+		},
+	}
+}
+
+// withNoOffload prepends the No-offload upper bound (Fig. 1b only).
+func withNoOffload(systems []system, cfg moe.Config) []system {
+	no := system{
+		name:       "No-offload",
+		build:      func() policy.Policy { return baselines.NewNoOffload() },
+		cacheBytes: cfg.TotalExpertBytes(),
+		preload:    true,
+	}
+	return append([]system{no}, systems...)
+}
+
+// runOffline executes one offline serving run for a system.
+func runOffline(c *Context, cfg moe.Config, ds workload.Dataset, sys system, batch int) *serve.Result {
+	m := c.Model(cfg)
+	_, testReqs := c.OfflineSplit(cfg, ds)
+	traces := c.Traces(cfg, "test/"+ds.Name, testReqs)
+	eng := serve.New(sys.engineOptions(c, m, batch))
+	return eng.RunOffline(testReqs, traces)
+}
+
+// runOnline executes one online serving run for a system (§6.3: stores
+// start empty).
+func runOnline(c *Context, cfg moe.Config, ds workload.Dataset, sys system) *serve.Result {
+	m := c.Model(cfg)
+	trace := c.OnlineTrace(cfg, ds)
+	traces := c.Traces(cfg, "online/"+ds.Name, trace)
+	opts := sys.engineOptions(c, m, defaultBatchSize)
+	opts.MaxBatch = 8
+	eng := serve.New(opts)
+	return eng.RunOnline(trace, traces)
+}

@@ -1,0 +1,241 @@
+// Package httpserve exposes the FineMoE serving simulator over HTTP — the
+// demo surface of cmd/finemoe-serve. The Expert Map Store starts empty and
+// warms up as requests flow, so successive requests see improving hit rates
+// and latency, mirroring the paper's online-serving behaviour (§6.3).
+package httpserve
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"sync"
+
+	"finemoe/internal/core"
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+	"finemoe/internal/serve"
+	"finemoe/internal/tensor"
+	"finemoe/internal/workload"
+)
+
+// Config assembles a serving deployment.
+type Config struct {
+	// Model is the MoE architecture to serve.
+	Model moe.Config
+	// Seed drives the simulated gate network and prompt noise.
+	Seed uint64
+	// GPU and NumGPUs define the simulated testbed.
+	GPU     memsim.GPUSpec
+	NumGPUs int
+	// CacheBytes is the expert-cache budget (0 = 30% of expert weights).
+	CacheBytes int64
+	// StoreCapacity sizes the Expert Map Store (0 = the paper's 1K).
+	StoreCapacity int
+	// Dataset provides the topic space for synthetic prompts.
+	Dataset workload.Dataset
+}
+
+// Server simulates serving over one engine; the virtual clock is shared
+// across requests, so it must serialize runs.
+type Server struct {
+	mu      sync.Mutex
+	cfg     moe.Config
+	model   *moe.Model
+	dataset workload.Dataset
+	engine  *serve.Engine
+	policy  *core.FineMoE
+	nextID  uint64
+	now     float64
+
+	served           int
+	totalHits        int
+	totalMisses      int
+	sumTTFT, sumTPOT float64
+}
+
+// New builds a server from the configuration.
+func New(c Config) *Server {
+	if c.Model.Layers == 0 {
+		c.Model = moe.Mixtral8x7B()
+	}
+	if c.GPU.Name == "" {
+		c.GPU = memsim.RTX3090()
+	}
+	if c.NumGPUs <= 0 {
+		c.NumGPUs = 6
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = int64(float64(c.Model.TotalExpertBytes()) * 0.3)
+	}
+	if c.Dataset.Name == "" {
+		c.Dataset = workload.LMSYSChat1M()
+	}
+	model := moe.NewModel(c.Model, c.Seed)
+	pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
+	eng := serve.New(serve.Options{
+		Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
+		CacheBytes: c.CacheBytes, Policy: pol,
+	})
+	return &Server{
+		cfg: c.Model, model: model, dataset: c.Dataset,
+		engine: eng, policy: pol,
+	}
+}
+
+// GenerateRequest is the POST /v1/generate body.
+type GenerateRequest struct {
+	// PromptTopic selects a topic cluster (-1 or out of range = derived
+	// from the request ID).
+	PromptTopic int `json:"prompt_topic"`
+	// InputTokens / OutputTokens control lengths (defaults 37/32).
+	InputTokens  int `json:"input_tokens"`
+	OutputTokens int `json:"output_tokens"`
+}
+
+// GenerateResponse reports one simulated request.
+type GenerateResponse struct {
+	RequestID   uint64  `json:"request_id"`
+	Topic       int     `json:"topic"`
+	TTFTms      float64 `json:"ttft_ms"`
+	TPOTms      float64 `json:"tpot_ms"`
+	E2Ems       float64 `json:"e2e_ms"`
+	Hits        int     `json:"expert_hits"`
+	Misses      int     `json:"expert_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	StoreSize   int     `json:"store_size"`
+	VirtualTime float64 `json:"virtual_time_ms"`
+}
+
+// StatsResponse reports cumulative serving statistics.
+type StatsResponse struct {
+	Served      int     `json:"served_requests"`
+	MeanTTFTms  float64 `json:"mean_ttft_ms"`
+	MeanTPOTms  float64 `json:"mean_tpot_ms"`
+	HitRate     float64 `json:"hit_rate"`
+	StoreSize   int     `json:"store_size"`
+	StoreBytes  int64   `json:"store_bytes"`
+	VirtualTime float64 `json:"virtual_time_ms"`
+}
+
+// Generate simulates one request and updates serving state.
+func (s *Server) Generate(req GenerateRequest) GenerateResponse {
+	if req.InputTokens <= 0 {
+		req.InputTokens = 37
+	}
+	if req.OutputTokens <= 0 {
+		req.OutputTokens = 32
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	id := s.nextID
+	s.nextID++
+	topic := req.PromptTopic
+	if topic < 0 || topic >= s.dataset.Topics {
+		topic = int(rng.Mix(id, 0xF00D) % uint64(s.dataset.Topics))
+	}
+	emb := tensor.Copy(s.dataset.TopicDirection(s.cfg.SemDim, topic))
+	noise := make([]float64, s.cfg.SemDim)
+	rng.New(rng.Mix(0xBEEF, id)).UnitVec(noise)
+	tensor.Axpy(s.dataset.TopicSpread, noise, emb)
+	tensor.Normalize(emb)
+
+	wreq := workload.Request{
+		PromptSpec: moe.PromptSpec{
+			ID: id, Embedding: emb,
+			InputTokens: req.InputTokens, OutputTokens: req.OutputTokens,
+			Seed: rng.Mix(0xCAFE, id),
+		},
+		Topic:   topic,
+		Dataset: s.dataset.Name,
+	}
+	res := s.engine.RunOffline([]workload.Request{wreq}, nil)
+	m := res.Requests[0]
+	s.served++
+	s.totalHits += m.Hits
+	s.totalMisses += m.Misses
+	s.sumTTFT += m.TTFTms
+	s.sumTPOT += m.TPOTms
+	s.now = res.WallClockMS
+
+	return GenerateResponse{
+		RequestID: id, Topic: topic,
+		TTFTms: m.TTFTms, TPOTms: m.TPOTms, E2Ems: m.E2Ems,
+		Hits: m.Hits, Misses: m.Misses, HitRate: m.HitRate(),
+		StoreSize: s.policy.Store().Len(), VirtualTime: s.now,
+	}
+}
+
+// Stats returns cumulative statistics.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StatsResponse{
+		Served: s.served, StoreSize: s.policy.Store().Len(),
+		StoreBytes: s.policy.Store().MemoryBytes(), VirtualTime: s.now,
+	}
+	if s.served > 0 {
+		st.MeanTTFTms = s.sumTTFT / float64(s.served)
+		st.MeanTPOTms = s.sumTPOT / float64(s.served)
+	}
+	if s.totalHits+s.totalMisses > 0 {
+		st.HitRate = float64(s.totalHits) / float64(s.totalHits+s.totalMisses)
+	}
+	return st
+}
+
+// ConfigInfo describes the deployment for GET /v1/config.
+func (s *Server) ConfigInfo() map[string]any {
+	return map[string]any{
+		"model":             s.cfg.Name,
+		"layers":            s.cfg.Layers,
+		"experts_per_layer": s.cfg.RoutedExperts,
+		"top_k":             s.cfg.TopK,
+		"prefetch_distance": s.policy.PrefetchDistance(),
+		"store_capacity":    s.policy.Store().Capacity(),
+		"dataset":           s.dataset.Name,
+	}
+}
+
+// Handler returns the HTTP mux serving the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/config", s.handleConfig)
+	return mux
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.InputTokens > 2048 || req.OutputTokens > 1024 || req.InputTokens < 0 || req.OutputTokens < 0 {
+		http.Error(w, "token counts out of range", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.Generate(req))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.ConfigInfo())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpserve: encode response: %v", err)
+	}
+}

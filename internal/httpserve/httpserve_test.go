@@ -1,0 +1,165 @@
+package httpserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+	"finemoe/internal/workload"
+)
+
+func testServer() *Server {
+	ds := workload.LMSYSChat1M()
+	ds.Topics = 6
+	return New(Config{
+		Model:         moe.Tiny(),
+		Seed:          1,
+		GPU:           memsim.RTX3090(),
+		NumGPUs:       2,
+		CacheBytes:    moe.Tiny().ExpertBytes() * int64(moe.Tiny().NumExperts()) / 2,
+		StoreCapacity: 100,
+		Dataset:       ds,
+	})
+}
+
+func postGenerate(t *testing.T, ts *httptest.Server, body GenerateRequest) GenerateResponse {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGenerateEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	out := postGenerate(t, ts, GenerateRequest{PromptTopic: 2, InputTokens: 6, OutputTokens: 8})
+	if out.TTFTms <= 0 || out.E2Ems < out.TTFTms {
+		t.Fatalf("bad metrics %+v", out)
+	}
+	if out.Topic != 2 {
+		t.Fatalf("topic %d, want 2", out.Topic)
+	}
+	if out.Hits+out.Misses == 0 {
+		t.Fatal("no expert activity")
+	}
+	if out.StoreSize == 0 {
+		t.Fatal("store did not grow after serving")
+	}
+}
+
+func TestStoreWarmupImprovesHitRate(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	first := postGenerate(t, ts, GenerateRequest{PromptTopic: 1, InputTokens: 6, OutputTokens: 10})
+	var last GenerateResponse
+	for i := 0; i < 4; i++ {
+		last = postGenerate(t, ts, GenerateRequest{PromptTopic: 1, InputTokens: 6, OutputTokens: 10})
+	}
+	if last.HitRate <= first.HitRate {
+		t.Fatalf("hit rate did not improve with warm store: first %.3f last %.3f",
+			first.HitRate, last.HitRate)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	postGenerate(t, ts, GenerateRequest{InputTokens: 6, OutputTokens: 6})
+	postGenerate(t, ts, GenerateRequest{InputTokens: 6, OutputTokens: 6})
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 2 || st.MeanTTFTms <= 0 || st.HitRate <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConfigEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cfg map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg["model"] != "Tiny-MoE" {
+		t.Fatalf("config %v", cfg)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET generate status %d", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", resp.StatusCode)
+	}
+
+	// Out-of-range tokens.
+	buf, _ := json.Marshal(GenerateRequest{InputTokens: 99999})
+	resp, err = http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized request status %d", resp.StatusCode)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{Model: moe.Tiny(), Seed: 3})
+	info := s.ConfigInfo()
+	if info["store_capacity"] != 1000 {
+		t.Fatalf("default store capacity %v", info["store_capacity"])
+	}
+	out := s.Generate(GenerateRequest{PromptTopic: -1})
+	if out.TTFTms <= 0 {
+		t.Fatal("defaults produced degenerate run")
+	}
+}

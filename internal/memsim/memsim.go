@@ -1,0 +1,356 @@
+// Package memsim simulates the hardware substrate of the paper's testbeds:
+// GPUs with HBM-bandwidth-bound compute, CPU memory behind per-GPU PCIe
+// links, and expert-parallel placement of MoE experts across devices.
+//
+// All timing is virtual: the serving engine advances a millisecond clock and
+// the cluster lazily schedules queued transfers up to that instant. This
+// reproduces the latency structure that governs offloading systems —
+// compute/transfer overlap for asynchronous prefetching, serialization for
+// synchronous fetching, queueing on a contended link, and preemption by
+// on-demand loads — without any real GPU.
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"finemoe/internal/moe"
+)
+
+// GPUSpec describes one GPU model's performance envelope.
+type GPUSpec struct {
+	// Name identifies the device ("RTX 3090", "A100-80GB").
+	Name string
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// HBMGBps is device-memory bandwidth in GB/s; decode-phase compute is
+	// modeled as weight-read time (memory-bound, §2.1).
+	HBMGBps float64
+	// FP16TFLOPS is peak half-precision throughput; prefill-phase compute
+	// is FLOPs-bound (§2.1).
+	FP16TFLOPS float64
+	// PCIeGBps is host-to-device transfer bandwidth in GB/s — the paper's
+	// testbed uses PCIe 4.0 at 32 GB/s (§6.1).
+	PCIeGBps float64
+	// PerLayerOverheadMS models the serving-framework overhead per
+	// Transformer layer per iteration (kernel launches, Python dispatch
+	// in the HuggingFace stack the paper builds on).
+	PerLayerOverheadMS float64
+	// TransferLatencyMS is the fixed per-copy overhead of one
+	// host-to-device transfer (driver dispatch, pinned-buffer staging).
+	// It dominates for small experts (Qwen) and penalizes designs that
+	// issue many small synchronous copies.
+	TransferLatencyMS float64
+}
+
+// RTX3090 returns the paper's six-GPU testbed device (§6.1).
+func RTX3090() GPUSpec {
+	return GPUSpec{
+		Name:               "RTX 3090",
+		MemBytes:           24 << 30,
+		HBMGBps:            936,
+		FP16TFLOPS:         71,
+		PCIeGBps:           32,
+		PerLayerOverheadMS: 8,
+		TransferLatencyMS:  1.0,
+	}
+}
+
+// A100 returns the high-end testbed of §6.5: 80 GB HBM2e at 2 TB/s.
+func A100() GPUSpec {
+	return GPUSpec{
+		Name:               "A100-80GB",
+		MemBytes:           80 << 30,
+		HBMGBps:            2039,
+		FP16TFLOPS:         312,
+		PCIeGBps:           64,
+		PerLayerOverheadMS: 2,
+		TransferLatencyMS:  0.5,
+	}
+}
+
+// TransferMS returns the PCIe transfer time for n bytes in milliseconds.
+func (g GPUSpec) TransferMS(n int64) float64 {
+	return float64(n) / (g.PCIeGBps * 1e6) // bytes / (GB/s * 1e6 B/ms)
+}
+
+// ReadMS returns the HBM weight-read time for n bytes in milliseconds.
+func (g GPUSpec) ReadMS(n int64) float64 {
+	return float64(n) / (g.HBMGBps * 1e6)
+}
+
+// FlopsMS returns the compute time for f half-precision FLOPs in
+// milliseconds, assuming 40% of peak utilization (typical for prefill
+// GEMMs in serving frameworks).
+func (g GPUSpec) FlopsMS(f float64) float64 {
+	return f / (g.FP16TFLOPS * 1e9 * 0.4)
+}
+
+// transferState tracks where an expert's transfer stands.
+type transferState int
+
+const (
+	stateNone transferState = iota
+	stateQueued
+	stateInflight
+)
+
+// Transfer is one host-to-device expert copy.
+type Transfer struct {
+	Ref moe.ExpertRef
+	// IssueTime is when the transfer may begin (for asynchronous
+	// prefetches this includes the search latency that produced it).
+	IssueTime float64
+	// Priority orders queued prefetches (higher first); the paper's
+	// prefetching priority is p/(l - l_now) (§4.5).
+	Priority float64
+	// Start and End are filled in once the link schedules the copy.
+	Start, End float64
+	// OnDemand marks a blocking miss load.
+	OnDemand bool
+}
+
+// Link is one GPU's host link: a single-transfer-at-a-time channel with a
+// priority queue of pending prefetches and support for on-demand preemption
+// with prefetch pausing (§4.5).
+type Link struct {
+	spec  GPUSpec
+	bytes int64 // bytes per expert on this model
+
+	queue        []*Transfer // pending, unscheduled
+	current      *Transfer   // scheduled with End > drained time
+	freeAt       float64     // when the prefetch stream finishes scheduled work
+	demandFreeAt float64     // when the on-demand stream becomes free
+	pausedUntil  float64     // prefetch pause horizon from on-demand loads
+	completed    []Transfer  // drained by AdvanceTo callers
+
+	state map[moe.ExpertRef]transferState
+
+	// stats
+	prefetchCount, onDemandCount int
+	busyMS                       float64
+}
+
+// NewLink builds a link transferring expertBytes-sized units.
+func NewLink(spec GPUSpec, expertBytes int64) *Link {
+	return &Link{spec: spec, bytes: expertBytes, state: map[moe.ExpertRef]transferState{}}
+}
+
+func (l *Link) durMS() float64 { return l.spec.TransferLatencyMS + l.spec.TransferMS(l.bytes) }
+
+// Tracked reports whether ref is queued or in flight.
+func (l *Link) Tracked(ref moe.ExpertRef) bool { return l.state[ref] != stateNone }
+
+// Prefetch enqueues an asynchronous expert copy. Duplicate requests for a
+// tracked expert are ignored (returns false).
+func (l *Link) Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool {
+	if l.state[ref] != stateNone {
+		return false
+	}
+	l.queue = append(l.queue, &Transfer{Ref: ref, IssueTime: issueTime, Priority: priority})
+	l.state[ref] = stateQueued
+	l.prefetchCount++
+	return true
+}
+
+// AdvanceTo processes the transfer schedule up to time now and returns the
+// transfers completed since the last drain, in completion order.
+func (l *Link) AdvanceTo(now float64) []Transfer {
+	l.schedule(now)
+	out := l.completed
+	l.completed = nil
+	return out
+}
+
+// schedule processes the transfer timeline up to now, accumulating
+// completions in l.completed without draining them.
+func (l *Link) schedule(now float64) {
+	for {
+		if l.current != nil {
+			if l.current.End > now {
+				break
+			}
+			l.finish(*l.current)
+			l.current = nil
+		}
+		next := l.pickNext(now)
+		if next == nil {
+			break
+		}
+		start := math.Max(l.freeAt, math.Max(next.IssueTime, l.pausedUntil))
+		next.Start = start
+		next.End = start + l.durMS()
+		l.freeAt = next.End
+		l.busyMS += l.durMS()
+		l.state[next.Ref] = stateInflight
+		l.current = next
+	}
+}
+
+// pickNext removes and returns the highest-priority queued transfer that
+// could start by now, or nil.
+func (l *Link) pickNext(now float64) *Transfer {
+	best := -1
+	for i, t := range l.queue {
+		start := math.Max(l.freeAt, math.Max(t.IssueTime, l.pausedUntil))
+		if start > now {
+			continue
+		}
+		if best < 0 || t.Priority > l.queue[best].Priority {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := l.queue[best]
+	l.queue = append(l.queue[:best], l.queue[best+1:]...)
+	return t
+}
+
+func (l *Link) finish(t Transfer) {
+	l.completed = append(l.completed, t)
+	delete(l.state, t.Ref)
+}
+
+// OnDemand performs a blocking miss load at time now and returns the time
+// the expert becomes available. On-demand loads run on a dedicated
+// high-priority copy stream (as CUDA serving stacks do), so they do not
+// queue behind an in-flight prefetch; per the paper's §4.5 they pause
+// pending prefetches until the missed expert arrives. If the requested
+// expert is itself in flight, the load waits for that transfer; if it is
+// queued, the queued prefetch is promoted instead of copying twice.
+// Consecutive on-demand loads on one link still serialize with each other
+// (tracked by demandFreeAt).
+func (l *Link) OnDemand(ref moe.ExpertRef, now float64) float64 {
+	l.schedule(now)
+	switch l.state[ref] {
+	case stateInflight:
+		// Wait for the in-flight prefetch of this very expert.
+		end := l.current.End
+		l.pausedUntil = math.Max(l.pausedUntil, end)
+		l.schedule(end)
+		return end
+	case stateQueued:
+		// Promote the queued prefetch to an immediate on-demand load.
+		for i, t := range l.queue {
+			if t.Ref == ref {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		delete(l.state, ref)
+	}
+	start := math.Max(now, l.demandFreeAt)
+	end := start + l.durMS()
+	l.demandFreeAt = end
+	// Pause prefetching until the on-demand load completes (§4.5).
+	l.pausedUntil = math.Max(l.pausedUntil, end)
+	l.busyMS += l.durMS()
+	l.onDemandCount++
+	l.completed = append(l.completed, Transfer{Ref: ref, IssueTime: now, Start: start, End: end, OnDemand: true})
+	return end
+}
+
+// QueueLen returns the number of pending (unscheduled) transfers.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Stats summarizes link activity.
+type LinkStats struct {
+	Prefetches, OnDemands int
+	BusyMS                float64
+}
+
+// Stats returns cumulative link statistics.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{Prefetches: l.prefetchCount, OnDemands: l.onDemandCount, BusyMS: l.busyMS}
+}
+
+// Cluster is an expert-parallel group of identical GPUs. Experts are
+// assigned to devices round-robin by flattened expert ID, matching the
+// paper's §5 hash placement.
+type Cluster struct {
+	Spec  GPUSpec
+	N     int
+	cfg   moe.Config
+	links []*Link
+}
+
+// NewCluster builds an N-GPU cluster for the given model.
+func NewCluster(spec GPUSpec, n int, cfg moe.Config) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("memsim: invalid GPU count %d", n))
+	}
+	c := &Cluster{Spec: spec, N: n, cfg: cfg}
+	for i := 0; i < n; i++ {
+		c.links = append(c.links, NewLink(spec, cfg.ExpertBytes()))
+	}
+	return c
+}
+
+// GPUFor returns the device index owning an expert.
+func (c *Cluster) GPUFor(ref moe.ExpertRef) int {
+	return c.cfg.ExpertID(ref.Layer, ref.Expert) % c.N
+}
+
+// Link returns device i's host link.
+func (c *Cluster) Link(i int) *Link { return c.links[i] }
+
+// Prefetch enqueues an asynchronous copy on the owning device's link.
+func (c *Cluster) Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool {
+	return c.links[c.GPUFor(ref)].Prefetch(ref, priority, issueTime)
+}
+
+// Tracked reports whether ref has a queued or in-flight transfer.
+func (c *Cluster) Tracked(ref moe.ExpertRef) bool {
+	return c.links[c.GPUFor(ref)].Tracked(ref)
+}
+
+// OnDemand performs a blocking load of ref, returning its availability time.
+func (c *Cluster) OnDemand(ref moe.ExpertRef, now float64) float64 {
+	return c.links[c.GPUFor(ref)].OnDemand(ref, now)
+}
+
+// AdvanceTo advances every link to now and returns all completed transfers.
+func (c *Cluster) AdvanceTo(now float64) []Transfer {
+	var out []Transfer
+	for _, l := range c.links {
+		out = append(out, l.AdvanceTo(now)...)
+	}
+	return out
+}
+
+// SyncLoad performs blocking loads of all refs, parallelized across device
+// links (each expert loads on its owner), and returns the time all are
+// available. Used by synchronous policies (DeepSpeed full-layer fetching,
+// Mixtral-Offloading's blocking speculative prefetch).
+func (c *Cluster) SyncLoad(refs []moe.ExpertRef, now float64) float64 {
+	end := now
+	for _, ref := range refs {
+		if t := c.OnDemand(ref, now); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// Stats aggregates link statistics across devices.
+func (c *Cluster) Stats() LinkStats {
+	var s LinkStats
+	for _, l := range c.links {
+		ls := l.Stats()
+		s.Prefetches += ls.Prefetches
+		s.OnDemands += ls.OnDemands
+		s.BusyMS += ls.BusyMS
+	}
+	return s
+}
+
+// QueueLen returns the total pending transfers across links.
+func (c *Cluster) QueueLen() int {
+	n := 0
+	for _, l := range c.links {
+		n += l.QueueLen()
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package memsim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+)
+
+// TestLinkScheduleInvariants drives a link with random interleavings of
+// prefetches, on-demand loads, and clock advances, then checks the physical
+// invariants of a serial transfer channel.
+func TestLinkScheduleInvariants(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		spec := testSpec()
+		spec.TransferLatencyMS = 0.25
+		l := NewLink(spec, 10_000_000)
+		now := 0.0
+		var completed []Transfer
+		demanded := map[moe.ExpertRef]bool{}
+		for op := 0; op < 120; op++ {
+			switch rr.Intn(3) {
+			case 0:
+				ref := moe.ExpertRef{Layer: rr.Intn(4), Expert: rr.Intn(8)}
+				l.Prefetch(ref, rr.Float64(), now+rr.Float64()*2)
+			case 1:
+				ref := moe.ExpertRef{Layer: rr.Intn(4), Expert: rr.Intn(8)}
+				avail := l.OnDemand(ref, now)
+				if avail < now {
+					t.Logf("on-demand availability %v before now %v", avail, now)
+					return false
+				}
+				now = avail
+				demanded[ref] = true
+			case 2:
+				now += rr.Float64() * 3
+				completed = append(completed, l.AdvanceTo(now)...)
+			}
+		}
+		completed = append(completed, l.AdvanceTo(now+1000)...)
+
+		// Transfer durations are uniform; none may be zero-length or
+		// end before starting.
+		dur := spec.TransferLatencyMS + spec.TransferMS(10_000_000)
+		for _, tr := range completed {
+			if tr.End-tr.Start < dur-1e-9 {
+				t.Logf("short transfer: %+v", tr)
+				return false
+			}
+			if tr.Start+1e-9 < tr.IssueTime {
+				t.Logf("transfer started before issue: %+v", tr)
+				return false
+			}
+		}
+		// Prefetch-stream transfers must not overlap each other.
+		var prefetchStream []Transfer
+		for _, tr := range completed {
+			if !tr.OnDemand {
+				prefetchStream = append(prefetchStream, tr)
+			}
+		}
+		sort.Slice(prefetchStream, func(a, b int) bool {
+			return prefetchStream[a].Start < prefetchStream[b].Start
+		})
+		for i := 1; i < len(prefetchStream); i++ {
+			if prefetchStream[i].Start+1e-9 < prefetchStream[i-1].End {
+				t.Logf("overlapping prefetches: %+v then %+v", prefetchStream[i-1], prefetchStream[i])
+				return false
+			}
+		}
+		// At most one live transfer may remain per expert and nothing may
+		// complete twice.
+		seenEnd := map[moe.ExpertRef]float64{}
+		for _, tr := range completed {
+			if prev, ok := seenEnd[tr.Ref]; ok && tr.End == prev {
+				t.Logf("duplicate completion: %+v", tr)
+				return false
+			}
+			seenEnd[tr.Ref] = tr.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterAdvanceMonotone: repeated advances with non-decreasing clocks
+// must never lose completions or produce out-of-order ends per link.
+func TestClusterAdvanceMonotone(t *testing.T) {
+	cfg := moe.Tiny()
+	c := NewCluster(testSpec(), 2, cfg)
+	r := rng.New(5)
+	issued := 0
+	for i := 0; i < 40; i++ {
+		ref := moe.ExpertRef{Layer: r.Intn(cfg.Layers), Expert: r.Intn(cfg.RoutedExperts)}
+		if c.Prefetch(ref, r.Float64(), float64(i)*0.1) {
+			issued++
+		}
+	}
+	var all []Transfer
+	now := 0.0
+	for now < 100 {
+		now += r.Float64() * 5
+		all = append(all, c.AdvanceTo(now)...)
+	}
+	if len(all) != issued {
+		t.Fatalf("completions %d != issued %d", len(all), issued)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if got := Percentile(s, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(s, 1); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(s, 0.5); got != 25 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("singleton percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":        func() { Percentile(nil, 0.5) },
+		"out of range": func() { Percentile([]float64{1}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("cdf points %d", len(pts))
+	}
+	if pts[0].Value != 1 || pts[2].Value != 3 {
+		t.Fatalf("cdf not sorted: %+v", pts)
+	}
+	if pts[2].Frac != 1 {
+		t.Fatalf("cdf does not reach 1: %+v", pts)
+	}
+	if CDFAt([]float64{1, 2, 3, 4}, 2.5) != 0.5 {
+		t.Fatal("CDFAt wrong")
+	}
+	if CDFAt(nil, 1) != 0 {
+		t.Fatal("empty CDFAt wrong")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		xs := make([]float64, 1+rr.Intn(50))
+		for i := range xs {
+			xs[i] = rr.Norm() * 10
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Frac < pts[i-1].Frac {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Frac == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("model", "tpot_s", "hit")
+	tb.Row("Mixtral", 1234.5, 0.912)
+	tb.Row("Qwen", 7.0, 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "model") || !strings.Contains(out, "Mixtral") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("render lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "1234.5") || !strings.Contains(out, "0.912") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "model,tpot_s,hit\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+}
+
+func TestUnitFormatting(t *testing.T) {
+	if GB(67_000_000_000) != "67.0" {
+		t.Fatalf("GB = %s", GB(67_000_000_000))
+	}
+	if MB(200<<20) != "200.0" {
+		t.Fatalf("MB = %s", MB(200<<20))
+	}
+	if Seconds(1500) != "1.500" {
+		t.Fatalf("Seconds = %s", Seconds(1500))
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// Plot renders series as an ASCII chart — the terminal stand-in for the
+// paper's figures. Rows are y-buckets (top = max), columns x-buckets; each
+// series draws with its own glyph.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	series []Series
+}
+
+// NewPlot creates a plot with sane terminal dimensions.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 16}
+}
+
+// Add appends a series. It panics on mismatched coordinate lengths.
+func (p *Plot) Add(s Series) *Plot {
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("metrics: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y)))
+	}
+	p.series = append(p.series, s)
+	return p
+}
+
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		// Sort points by x so line interpolation is well defined.
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		var prevC, prevR int = -1, -1
+		for _, i := range idx {
+			cCol := int((s.X[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			cRow := p.Height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(p.Height-1))
+			plotLine(grid, prevC, prevR, cCol, cRow, g)
+			grid[cRow][cCol] = g
+			prevC, prevR = cCol, cRow
+		}
+	}
+
+	for r, row := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(p.Height-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", p.Width/2, xmin, p.Width/2, xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// plotLine draws a coarse interpolation between consecutive points so
+// sparse series still read as lines.
+func plotLine(grid [][]byte, c0, r0, c1, r1 int, g byte) {
+	if c0 < 0 || (c0 == c1 && r0 == r1) {
+		return
+	}
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = g
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CDFSeries converts a latency sample into a plottable CDF series.
+func CDFSeries(name string, xs []float64) Series {
+	pts := CDF(xs)
+	s := Series{Name: name, X: make([]float64, len(pts)), Y: make([]float64, len(pts))}
+	for i, p := range pts {
+		s.X[i] = p.Value
+		s.Y[i] = p.Frac
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := NewPlot("tpot vs cache", "GB", "s")
+	p.Add(Series{Name: "FineMoE", X: []float64{6, 12, 24, 48}, Y: []float64{0.5, 0.4, 0.35, 0.3}})
+	p.Add(Series{Name: "DeepSpeed", X: []float64{6, 12, 24, 48}, Y: []float64{1.0, 1.0, 0.9, 0.7}})
+	out := p.String()
+	if !strings.Contains(out, "tpot vs cache") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "FineMoE") || !strings.Contains(out, "DeepSpeed") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := NewPlot("empty", "", "").String()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot rendering: %q", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// Single point and flat series must not divide by zero.
+	p := NewPlot("flat", "", "")
+	p.Add(Series{Name: "pt", X: []float64{1}, Y: []float64{2}})
+	p.Add(Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	out := p.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into plot:\n%s", out)
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlot("", "", "").Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}})
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("lat", []float64{3, 1, 2})
+	if len(s.X) != 3 || s.X[0] != 1 || s.Y[2] != 1 {
+		t.Fatalf("cdf series %+v", s)
+	}
+}
+
+func TestPlotMonotoneAxis(t *testing.T) {
+	// The y-axis labels must be monotonically decreasing down the rows.
+	p := NewPlot("", "", "")
+	p.Add(Series{Name: "s", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}})
+	lines := strings.Split(strings.TrimSpace(p.String()), "\n")
+	var prev float64 = 1e18
+	count := 0
+	for _, ln := range lines {
+		if !strings.Contains(ln, "|") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		if v >= prev {
+			t.Fatalf("axis not decreasing: %v then %v", prev, v)
+		}
+		prev = v
+		count++
+	}
+	if count < 10 {
+		t.Fatalf("too few axis rows parsed: %d", count)
+	}
+}

@@ -1,0 +1,161 @@
+package moe
+
+import (
+	"finemoe/internal/tensor"
+)
+
+// FineGrainedEntropy returns the mean Shannon entropy (nats) of the
+// iteration-level gate distributions across all layers and iterations —
+// the "fine-grained" quantity of the paper's Fig. 3b.
+func FineGrainedEntropy(iters []*Iteration) float64 {
+	var sum float64
+	var n int
+	for _, it := range iters {
+		for _, p := range it.Probs {
+			sum += tensor.Entropy(p)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CoarseGrainedEntropy aggregates each layer's gate distributions across all
+// iterations of a request (request-level view, as MoE-Infinity's Expert
+// Activation Matrix does) and returns the mean per-layer entropy of the
+// aggregate — the "coarse-grained" quantity of Fig. 3b.
+func CoarseGrainedEntropy(iters []*Iteration) float64 {
+	if len(iters) == 0 {
+		return 0
+	}
+	layers := len(iters[0].Probs)
+	experts := len(iters[0].Probs[0])
+	var sum float64
+	agg := make([]float64, experts)
+	for l := 0; l < layers; l++ {
+		for i := range agg {
+			agg[i] = 0
+		}
+		for _, it := range iters {
+			tensor.Axpy(1, it.Probs[l], agg)
+		}
+		tensor.Normalize1(agg)
+		sum += tensor.Entropy(agg)
+	}
+	return sum / float64(layers)
+}
+
+// EntropyByIteration returns, for each prefix length i, the mean per-layer
+// entropy of gate distributions aggregated over iterations [0, i] — the
+// curve of Fig. 3c showing predictability degrading as expert patterns are
+// aggregated through inference iterations.
+func EntropyByIteration(iters []*Iteration) []float64 {
+	if len(iters) == 0 {
+		return nil
+	}
+	layers := len(iters[0].Probs)
+	experts := len(iters[0].Probs[0])
+	// Running per-layer aggregate.
+	agg := make([][]float64, layers)
+	for l := range agg {
+		agg[l] = make([]float64, experts)
+	}
+	out := make([]float64, len(iters))
+	tmp := make([]float64, experts)
+	for i, it := range iters {
+		var sum float64
+		for l := 0; l < layers; l++ {
+			tensor.Axpy(1, it.Probs[l], agg[l])
+			copy(tmp, agg[l])
+			tensor.Normalize1(tmp)
+			sum += tensor.Entropy(tmp)
+		}
+		out[i] = sum / float64(layers)
+	}
+	return out
+}
+
+// ActivationHeatmap accumulates expert activation counts into an L×J matrix.
+// With a single iteration it is the paper's fine-grained heatmap; with all
+// iterations of a request it is the coarse-grained one (Fig. 3a).
+func ActivationHeatmap(iters []*Iteration, layers, experts int) [][]float64 {
+	h := make([][]float64, layers)
+	for l := range h {
+		h[l] = make([]float64, experts)
+	}
+	for _, it := range iters {
+		for l, act := range it.Active {
+			for _, j := range act {
+				h[l][j]++
+			}
+		}
+	}
+	return h
+}
+
+// MarginalUsage returns the model-wide marginal activation frequency per
+// expert index, aggregated across layers and iterations and normalized to a
+// distribution. Balanced routing (the paper's §2.3 premise) shows up as a
+// near-uniform marginal.
+func MarginalUsage(traces [][]*Iteration, experts int) []float64 {
+	m := make([]float64, experts)
+	for _, iters := range traces {
+		for _, it := range iters {
+			for _, act := range it.Active {
+				for _, j := range act {
+					m[j]++
+				}
+			}
+		}
+	}
+	tensor.Normalize1(m)
+	return m
+}
+
+// FlattenProbs concatenates an iteration's per-layer distributions for the
+// first `layers` layers into one vector — the representation used for
+// trajectory similarity (§4.2.2). layers < 0 flattens everything.
+func FlattenProbs(it *Iteration, layers int) []float64 {
+	if layers < 0 || layers > len(it.Probs) {
+		layers = len(it.Probs)
+	}
+	if layers == 0 {
+		return nil
+	}
+	experts := len(it.Probs[0])
+	out := make([]float64, 0, layers*experts)
+	for l := 0; l < layers; l++ {
+		out = append(out, it.Probs[l]...)
+	}
+	return out
+}
+
+// IterationHitRate computes the expert hit rate of predicting iteration
+// `want` with the per-layer expert sets in `predicted`: the fraction of
+// want's activated experts found in the prediction (the paper's "overlapped
+// expert ratio", §4.2.3).
+func IterationHitRate(want *Iteration, predicted [][]int) float64 {
+	var hit, total int
+	for l, act := range want.Active {
+		var pred []int
+		if l < len(predicted) {
+			pred = predicted[l]
+		}
+		set := make(map[int]bool, len(pred))
+		for _, j := range pred {
+			set[j] = true
+		}
+		for _, j := range act {
+			total++
+			if set[j] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,138 @@
+package moe
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1Mixtral verifies the parameter accounting against the paper's
+// Table 1 row for Mixtral-8x7B: 12.9B/46.7B params, 2/8 experts, 32 layers.
+func TestTable1Mixtral(t *testing.T) {
+	c := Mixtral8x7B()
+	if c.Layers != 32 || c.RoutedExperts != 8 || c.TopK != 2 {
+		t.Fatalf("architecture mismatch: %+v", c)
+	}
+	if got := float64(c.TotalParams()) / 1e9; math.Abs(got-46.7) > 0.5 {
+		t.Fatalf("total params %.1fB, want ~46.7B", got)
+	}
+	if got := float64(c.ActiveParams()) / 1e9; math.Abs(got-12.9) > 0.5 {
+		t.Fatalf("active params %.1fB, want ~12.9B", got)
+	}
+	// §2.2: 72% inactive parameters, ~67 GB inactive memory in fp16.
+	frac := float64(c.InactiveParams()) / float64(c.TotalParams())
+	if math.Abs(frac-0.72) > 0.02 {
+		t.Fatalf("inactive fraction %.3f, want ~0.72", frac)
+	}
+	gb := float64(c.InactiveParams()*c.BytesPerParam) / 1e9
+	if math.Abs(gb-67) > 3 {
+		t.Fatalf("inactive GB %.1f, want ~67", gb)
+	}
+}
+
+func TestTable1Qwen(t *testing.T) {
+	c := Qwen15MoE()
+	if c.Layers != 24 || c.RoutedExperts != 60 || c.TopK != 4 || c.SharedExperts != 4 {
+		t.Fatalf("architecture mismatch: %+v", c)
+	}
+	if got := float64(c.TotalParams()) / 1e9; math.Abs(got-14.3) > 0.5 {
+		t.Fatalf("total params %.1fB, want ~14.3B", got)
+	}
+	if got := float64(c.ActiveParams()) / 1e9; math.Abs(got-2.7) > 0.3 {
+		t.Fatalf("active params %.1fB, want ~2.7B", got)
+	}
+	frac := float64(c.InactiveParams()) / float64(c.TotalParams())
+	if math.Abs(frac-0.81) > 0.02 {
+		t.Fatalf("inactive fraction %.3f, want ~0.81", frac)
+	}
+}
+
+func TestTable1Phi(t *testing.T) {
+	c := Phi35MoE()
+	if c.Layers != 32 || c.RoutedExperts != 16 || c.TopK != 2 {
+		t.Fatalf("architecture mismatch: %+v", c)
+	}
+	if got := float64(c.TotalParams()) / 1e9; math.Abs(got-42) > 1 {
+		t.Fatalf("total params %.1fB, want ~42B", got)
+	}
+	if got := float64(c.ActiveParams()) / 1e9; math.Abs(got-6.6) > 0.4 {
+		t.Fatalf("active params %.1fB, want ~6.6B", got)
+	}
+	frac := float64(c.InactiveParams()) / float64(c.TotalParams())
+	if math.Abs(frac-0.84) > 0.02 {
+		t.Fatalf("inactive fraction %.3f, want ~0.84", frac)
+	}
+}
+
+func TestExpertIDRoundTrip(t *testing.T) {
+	c := Tiny()
+	for l := 0; l < c.Layers; l++ {
+		for j := 0; j < c.RoutedExperts; j++ {
+			id := c.ExpertID(l, j)
+			gl, gj := c.ExpertLoc(id)
+			if gl != l || gj != j {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", l, j, id, gl, gj)
+			}
+		}
+	}
+	if c.NumExperts() != c.Layers*c.RoutedExperts {
+		t.Fatal("NumExperts mismatch")
+	}
+}
+
+// TestFig18MapBytes checks the store footprint math: 32K Qwen maps must stay
+// under the paper's 200 MB bound and exceed the other two models (Fig. 18).
+func TestFig18MapBytes(t *testing.T) {
+	mix, qwen, phi := Mixtral8x7B(), Qwen15MoE(), Phi35MoE()
+	qwenMB := float64(qwen.MapBytes()*32768) / (1 << 20)
+	if qwenMB >= 200 {
+		t.Fatalf("Qwen 32K-map store %.1f MB, paper bound is <200 MB", qwenMB)
+	}
+	if qwen.MapBytes() <= mix.MapBytes() || qwen.MapBytes() <= phi.MapBytes() {
+		t.Fatal("Qwen maps must be the largest (most experts per layer)")
+	}
+}
+
+func TestExpertBytesMagnitudes(t *testing.T) {
+	// Sanity-check transfer units: Mixtral experts ~352 MB, Qwen ~17 MB,
+	// Phi ~157 MB in fp16.
+	checks := []struct {
+		c      Config
+		wantMB float64
+	}{
+		{Mixtral8x7B(), 352}, {Qwen15MoE(), 17.3}, {Phi35MoE(), 157},
+	}
+	for _, tc := range checks {
+		gotMB := float64(tc.c.ExpertBytes()) / 1e6
+		if math.Abs(gotMB-tc.wantMB)/tc.wantMB > 0.05 {
+			t.Errorf("%s expert size %.1f MB, want ~%.0f MB", tc.c.Name, gotMB, tc.wantMB)
+		}
+	}
+}
+
+func TestDenseBytesIncludesSharedExperts(t *testing.T) {
+	q := Qwen15MoE()
+	withShared := q.DenseBytes()
+	q2 := q
+	q2.SharedExperts = 0
+	q2.SharedIntermediate = 0
+	if withShared <= q2.DenseBytes() {
+		t.Fatal("shared experts must add to the pinned dense bytes")
+	}
+}
+
+func TestPaperModels(t *testing.T) {
+	ms := PaperModels()
+	if len(ms) != 3 {
+		t.Fatalf("want 3 paper models, got %d", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		if m.OptimalPrefetchDistance <= 0 {
+			t.Errorf("%s: missing profiled prefetch distance", m.Name)
+		}
+	}
+	if !names["Mixtral-8x7B"] || !names["Qwen1.5-MoE"] || !names["Phi-3.5-MoE"] {
+		t.Fatalf("unexpected model set: %v", names)
+	}
+}

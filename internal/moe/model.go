@@ -1,0 +1,338 @@
+package moe
+
+import (
+	"fmt"
+
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+)
+
+// Key-space constants for deriving independent deterministic noise streams.
+const (
+	keyGate uint64 = iota + 1
+	keyDrift
+	keyPromptLayer
+	keyIterLayer
+	keyIterTok
+	keySemObs
+	keyPrefillTok
+)
+
+// Model is a simulated MoE gate network. It deterministically maps latent
+// semantic states to per-layer expert probability distributions with the
+// statistical properties described in DESIGN.md §4. A Model is safe for
+// concurrent use once constructed.
+type Model struct {
+	Cfg  Config
+	seed uint64
+
+	// gateW[l] is the J×SemDim routing projection of layer l.
+	gateW [][]float64
+	// driftW[l] is the SemDim×SemDim drift field of layer l; the
+	// within-iteration hidden walk moves along normalize(driftW[l]·x).
+	driftW [][]float64
+}
+
+// NewModel builds the simulated gate network for cfg. The same (cfg.Name,
+// seed) pair always yields an identical model.
+func NewModel(cfg Config, seed uint64) *Model {
+	if cfg.Layers <= 0 || cfg.RoutedExperts <= 0 {
+		panic(fmt.Sprintf("moe: invalid config %+v", cfg))
+	}
+	if cfg.TopK <= 0 || cfg.TopK > cfg.RoutedExperts {
+		panic(fmt.Sprintf("moe: TopK %d out of range for %d experts", cfg.TopK, cfg.RoutedExperts))
+	}
+	m := &Model{Cfg: cfg, seed: seed}
+	m.gateW = make([][]float64, cfg.Layers)
+	m.driftW = make([][]float64, cfg.Layers)
+	nameKey := hashString(cfg.Name)
+	for l := 0; l < cfg.Layers; l++ {
+		gw := make([]float64, cfg.RoutedExperts*cfg.SemDim)
+		gr := rng.New(rng.Mix(seed, nameKey, keyGate, uint64(l)))
+		for j := 0; j < cfg.RoutedExperts; j++ {
+			gr.UnitVec(gw[j*cfg.SemDim : (j+1)*cfg.SemDim])
+		}
+		m.gateW[l] = gw
+
+		dw := make([]float64, cfg.SemDim*cfg.SemDim)
+		dr := rng.New(rng.Mix(seed, nameKey, keyDrift, uint64(l)))
+		for i := range dw {
+			dw[i] = dr.Norm()
+		}
+		m.driftW[l] = dw
+	}
+	return m
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// GateProbs writes layer's routing distribution for hidden state u into dst
+// (length RoutedExperts). This is the ground-truth gate; baselines use it
+// through Speculate.
+func (m *Model) GateProbs(u []float64, layer int, dst []float64) {
+	cfg := m.Cfg
+	logits := make([]float64, cfg.RoutedExperts)
+	tensor.MatVec(m.gateW[layer], cfg.RoutedExperts, cfg.SemDim, u, logits)
+	tensor.Softmax(logits, cfg.InvTemp, dst)
+}
+
+// Speculate predicts targetLayer's routing distribution from a hidden state
+// observed at an earlier layer — the mechanism behind Mixtral-Offloading's
+// and ProMoE's speculative prefetching. Accuracy decays with the distance
+// between the observation layer and targetLayer because the hidden walk's
+// drift accumulates.
+func (m *Model) Speculate(hiddenAtEarlierLayer []float64, targetLayer int, dst []float64) {
+	m.GateProbs(hiddenAtEarlierLayer, targetLayer, dst)
+}
+
+// driftDir writes normalize(driftW[l]·x) into dst.
+func (m *Model) driftDir(l int, x, dst []float64) {
+	tensor.MatVec(m.driftW[l], m.Cfg.SemDim, m.Cfg.SemDim, x, dst)
+	tensor.Normalize(dst)
+}
+
+// Iteration is the observable outcome of one inference iteration: the gate's
+// probability distributions per layer, the activated routed experts, the
+// hidden-state trajectory (available to speculation-based policies), and the
+// semantic embedding the serving system observes.
+type Iteration struct {
+	// Index is the iteration number within the request; 0 is the prefill
+	// iteration, subsequent indices are decode steps.
+	Index int
+	// Probs[l] is the layer-l gate distribution over routed experts. For
+	// prefill it is the mean distribution across prompt tokens.
+	Probs [][]float64
+	// Active[l] lists the routed experts computed at layer l: the top-K
+	// experts for a decode token, or the union of per-token top-K sets
+	// for prefill, in first-activation order.
+	Active [][]int
+	// Hidden[l] is the hidden state entering layer l's gate.
+	Hidden [][]float64
+	// Semantic is the observed semantic embedding for this iteration
+	// (embedding-layer output plus observation noise).
+	Semantic []float64
+	// Tokens is the number of tokens processed this iteration (prompt
+	// length for prefill, 1 for decode).
+	Tokens int
+}
+
+// PromptSpec describes one request prompt for simulation. Embedding must be
+// a unit vector of the model's SemDim.
+type PromptSpec struct {
+	// ID uniquely identifies the request within a workload.
+	ID uint64
+	// Embedding is the latent semantic vector of the prompt.
+	Embedding []float64
+	// InputTokens and OutputTokens are the prompt and generation lengths.
+	InputTokens  int
+	OutputTokens int
+	// Seed drives all per-prompt noise streams.
+	Seed uint64
+}
+
+// RequestSim simulates one request's inference, iteration by iteration.
+// It is not safe for concurrent use.
+type RequestSim struct {
+	m    *Model
+	spec PromptSpec
+	x    []float64 // current latent iteration state
+	iter int
+
+	// scratch
+	drift []float64
+	u     []float64
+}
+
+// NewRequest starts simulating a request. It panics if the embedding
+// dimension does not match the model.
+func (m *Model) NewRequest(spec PromptSpec) *RequestSim {
+	if len(spec.Embedding) != m.Cfg.SemDim {
+		panic(fmt.Sprintf("moe: embedding dim %d != SemDim %d", len(spec.Embedding), m.Cfg.SemDim))
+	}
+	if spec.InputTokens <= 0 || spec.OutputTokens <= 0 {
+		panic("moe: request must have positive input and output token counts")
+	}
+	return &RequestSim{
+		m:     m,
+		spec:  spec,
+		x:     tensor.Copy(spec.Embedding),
+		drift: make([]float64, m.Cfg.SemDim),
+		u:     make([]float64, m.Cfg.SemDim),
+	}
+}
+
+// TotalIterations returns the number of iterations the request spans:
+// one prefill plus OutputTokens-1 decode steps (the prefill iteration emits
+// the first output token, §2.1).
+func (r *RequestSim) TotalIterations() int {
+	if r.spec.OutputTokens < 1 {
+		return 1
+	}
+	return r.spec.OutputTokens
+}
+
+// Done reports whether all iterations have been produced.
+func (r *RequestSim) Done() bool { return r.iter >= r.TotalIterations() }
+
+// Spec returns the request's prompt specification.
+func (r *RequestSim) Spec() PromptSpec { return r.spec }
+
+// Next produces the next iteration. It panics if called after Done.
+func (r *RequestSim) Next() *Iteration {
+	if r.Done() {
+		panic("moe: Next called on finished request")
+	}
+	cfg := r.m.Cfg
+	it := &Iteration{
+		Index:  r.iter,
+		Probs:  make([][]float64, cfg.Layers),
+		Active: make([][]int, cfg.Layers),
+		Hidden: make([][]float64, cfg.Layers),
+	}
+
+	// Observed semantic embedding: latent state + observation noise.
+	sem := tensor.Copy(r.x)
+	obs := make([]float64, cfg.SemDim)
+	rng.New(rng.Mix(r.spec.Seed, keySemObs, uint64(r.iter))).UnitVec(obs)
+	tensor.Axpy(cfg.SemObsNoise, obs, sem)
+	tensor.Normalize(sem)
+	it.Semantic = sem
+
+	if r.iter == 0 {
+		r.prefill(it)
+	} else {
+		r.decode(it)
+	}
+
+	// Advance the latent state for the next iteration. The drift mixes a
+	// topic-shared conversation path — a deterministic function of the
+	// prompt embedding and the iteration index, so same-topic requests
+	// traverse near-identical trajectories the Expert Map Store can
+	// match — with prompt-unique token noise. The cumulative walk is what
+	// blurs request-level aggregates (Fig. 3c) without destroying
+	// iteration-level searchability.
+	tok := make([]float64, cfg.SemDim)
+	pathIdx := int(uint(r.iter*7+3)) % cfg.Layers
+	r.m.driftDir(pathIdx, r.spec.Embedding, tok)
+	tensor.Scale(cfg.PathShare, tok)
+	eta := make([]float64, cfg.SemDim)
+	rng.New(rng.Mix(r.spec.Seed, keyIterTok, uint64(r.iter))).UnitVec(eta)
+	tensor.Axpy(1-cfg.PathShare, eta, tok)
+	tensor.Normalize(tok)
+
+	tensor.Scale(1-cfg.IterAnchor-cfg.IterNoise, r.x)
+	tensor.Axpy(cfg.IterAnchor, r.spec.Embedding, r.x)
+	tensor.Axpy(cfg.IterNoise, tok, r.x)
+	tensor.Normalize(r.x)
+
+	r.iter++
+	return it
+}
+
+// walkLayer advances hidden state u through layer l's drift field:
+// u ← normalize(u + σ_d·drift(x) + σ_p·η_prompt(l) + σ_q·η_iter(l)).
+func (r *RequestSim) walkLayer(u []float64, l, iter int) {
+	cfg := r.m.Cfg
+	r.m.driftDir(l, r.x, r.drift)
+	tensor.Axpy(cfg.LayerDrift, r.drift, u)
+
+	eta := make([]float64, cfg.SemDim)
+	rng.New(rng.Mix(r.spec.Seed, keyPromptLayer, uint64(l))).UnitVec(eta)
+	tensor.Axpy(cfg.PromptNoise, eta, u)
+
+	rng.New(rng.Mix(r.spec.Seed, keyIterLayer, uint64(iter), uint64(l))).UnitVec(eta)
+	tensor.Axpy(cfg.IterLayerNoise, eta, u)
+
+	tensor.Normalize(u)
+}
+
+// decode runs a single-token iteration.
+func (r *RequestSim) decode(it *Iteration) {
+	cfg := r.m.Cfg
+	copy(r.u, r.x)
+	for l := 0; l < cfg.Layers; l++ {
+		r.walkLayer(r.u, l, it.Index)
+		it.Hidden[l] = tensor.Copy(r.u)
+		p := make([]float64, cfg.RoutedExperts)
+		r.m.GateProbs(r.u, l, p)
+		it.Probs[l] = p
+		it.Active[l] = tensor.TopK(p, cfg.TopK)
+	}
+	it.Tokens = 1
+}
+
+// prefill runs the prompt iteration: every input token follows its own
+// hidden walk; the layer's activated set is the union of per-token top-K
+// selections and the recorded distribution is the token mean.
+func (r *RequestSim) prefill(it *Iteration) {
+	cfg := r.m.Cfg
+	n := r.spec.InputTokens
+	it.Tokens = n
+
+	// Per-token starting states around the prompt embedding.
+	states := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		v := tensor.Copy(r.x)
+		eta := make([]float64, cfg.SemDim)
+		rng.New(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k))).UnitVec(eta)
+		tensor.Axpy(cfg.PrefillTokenNoise, eta, v)
+		tensor.Normalize(v)
+		states[k] = v
+	}
+
+	probs := make([]float64, cfg.RoutedExperts)
+	tokEta := make([]float64, cfg.SemDim)
+	for l := 0; l < cfg.Layers; l++ {
+		mean := make([]float64, cfg.RoutedExperts)
+		var active []int
+		seen := make(map[int]bool, cfg.RoutedExperts)
+		var meanHidden []float64
+		for k := 0; k < n; k++ {
+			u := states[k]
+			r.walkLayer(u, l, 0)
+			// Per-token content keeps influencing routing at every
+			// depth; without this the shared drift field would
+			// collapse token diversity (and the per-layer expert
+			// union) in deep layers.
+			rng.New(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k), uint64(l)+1)).UnitVec(tokEta)
+			tensor.Axpy(cfg.PrefillTokenNoise*0.35, tokEta, u)
+			tensor.Normalize(u)
+			r.m.GateProbs(u, l, probs)
+			tensor.Axpy(1, probs, mean)
+			for _, j := range tensor.TopK(probs, cfg.TopK) {
+				if !seen[j] {
+					seen[j] = true
+					active = append(active, j)
+				}
+			}
+			if meanHidden == nil {
+				meanHidden = make([]float64, cfg.SemDim)
+			}
+			tensor.Axpy(1, u, meanHidden)
+		}
+		tensor.Scale(1/float64(n), mean)
+		tensor.Normalize(meanHidden)
+		it.Probs[l] = mean
+		it.Active[l] = active
+		it.Hidden[l] = meanHidden
+	}
+}
+
+// Trace fully simulates a request and returns every iteration. It is the
+// cacheable unit shared across policy evaluations (gate behaviour does not
+// depend on the serving policy).
+func (m *Model) Trace(spec PromptSpec) []*Iteration {
+	r := m.NewRequest(spec)
+	out := make([]*Iteration, 0, r.TotalIterations())
+	for !r.Done() {
+		out = append(out, r.Next())
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package moe
+
+import (
+	"math"
+	"testing"
+
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+)
+
+// testPrompt builds a PromptSpec in topic t with within-topic spread sigma.
+func testPrompt(cfg Config, id, topic uint64, sigma float64, in, out int) PromptSpec {
+	dir := rng.UnitVecFor(cfg.SemDim, 777, topic)
+	emb := tensor.Copy(dir)
+	noise := make([]float64, cfg.SemDim)
+	rng.New(rng.Mix(888, id)).UnitVec(noise)
+	tensor.Axpy(sigma, noise, emb)
+	tensor.Normalize(emb)
+	return PromptSpec{ID: id, Embedding: emb, InputTokens: in, OutputTokens: out, Seed: rng.Mix(999, id)}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	cfg := Tiny()
+	m1 := NewModel(cfg, 1)
+	m2 := NewModel(cfg, 1)
+	p := testPrompt(cfg, 1, 0, 0.1, 4, 5)
+	a := m1.Trace(p)
+	b := m2.Trace(p)
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		for l := range a[i].Probs {
+			for j := range a[i].Probs[l] {
+				if a[i].Probs[l][j] != b[i].Probs[l][j] {
+					t.Fatalf("probs diverge at iter %d layer %d expert %d", i, l, j)
+				}
+			}
+		}
+	}
+}
+
+func TestModelSeedChangesOutput(t *testing.T) {
+	cfg := Tiny()
+	p := testPrompt(cfg, 1, 0, 0.1, 4, 5)
+	a := NewModel(cfg, 1).Trace(p)
+	b := NewModel(cfg, 2).Trace(p)
+	same := true
+	for l := range a[0].Probs {
+		for j := range a[0].Probs[l] {
+			if a[0].Probs[l][j] != b[0].Probs[l][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different model seeds produced identical gates")
+	}
+}
+
+func TestIterationShape(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 1)
+	p := testPrompt(cfg, 2, 1, 0.1, 6, 4)
+	iters := m.Trace(p)
+	if len(iters) != 4 {
+		t.Fatalf("iterations = %d, want OutputTokens = 4", len(iters))
+	}
+	if iters[0].Tokens != 6 {
+		t.Fatalf("prefill tokens = %d, want 6", iters[0].Tokens)
+	}
+	for i, it := range iters {
+		if it.Index != i {
+			t.Fatalf("iteration index %d != %d", it.Index, i)
+		}
+		if len(it.Probs) != cfg.Layers || len(it.Active) != cfg.Layers || len(it.Hidden) != cfg.Layers {
+			t.Fatal("per-layer slices wrong length")
+		}
+		if len(it.Semantic) != cfg.SemDim {
+			t.Fatal("semantic dim wrong")
+		}
+		for l := 0; l < cfg.Layers; l++ {
+			var sum float64
+			for _, v := range it.Probs[l] {
+				if v < 0 {
+					t.Fatal("negative probability")
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("iter %d layer %d probs sum %v", i, l, sum)
+			}
+			if i > 0 && len(it.Active[l]) != cfg.TopK {
+				t.Fatalf("decode active count %d != TopK", len(it.Active[l]))
+			}
+			if i == 0 && (len(it.Active[l]) < cfg.TopK || len(it.Active[l]) > cfg.RoutedExperts) {
+				t.Fatalf("prefill union size %d out of range", len(it.Active[l]))
+			}
+			seen := map[int]bool{}
+			for _, j := range it.Active[l] {
+				if j < 0 || j >= cfg.RoutedExperts || seen[j] {
+					t.Fatalf("invalid active set %v", it.Active[l])
+				}
+				seen[j] = true
+			}
+		}
+	}
+}
+
+func TestDecodeActiveMatchesTopProbs(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 3)
+	iters := m.Trace(testPrompt(cfg, 3, 0, 0.1, 4, 3))
+	it := iters[1] // decode
+	for l := range it.Probs {
+		want := tensor.TopK(it.Probs[l], cfg.TopK)
+		for i := range want {
+			if want[i] != it.Active[l][i] {
+				t.Fatalf("active set %v != top-k %v", it.Active[l], want)
+			}
+		}
+	}
+}
+
+// TestFineVsCoarseEntropy verifies the paper's Fig. 3b phenomenon: the
+// request-level aggregated (coarse) entropy must exceed the iteration-level
+// (fine) entropy by a clear margin.
+func TestFineVsCoarseEntropy(t *testing.T) {
+	for _, cfg := range []Config{Mixtral8x7B(), Qwen15MoE()} {
+		cfg := cfg
+		m := NewModel(cfg, 7)
+		var fineSum, coarseSum float64
+		const reqs = 6
+		for i := uint64(0); i < reqs; i++ {
+			iters := m.Trace(testPrompt(cfg, i, i%3, 0.12, 12, 24))
+			fineSum += FineGrainedEntropy(iters)
+			coarseSum += CoarseGrainedEntropy(iters)
+		}
+		fine, coarse := fineSum/reqs, coarseSum/reqs
+		if coarse <= fine*1.2 {
+			t.Errorf("%s: coarse entropy %.3f not clearly above fine %.3f", cfg.Name, coarse, fine)
+		}
+		maxEnt := math.Log(float64(cfg.RoutedExperts))
+		if fine > 0.75*maxEnt {
+			t.Errorf("%s: fine entropy %.3f too close to uniform %.3f — gate not peaked", cfg.Name, fine, maxEnt)
+		}
+	}
+}
+
+// TestEntropyGrowsWithIterations verifies Fig. 3c: aggregating expert
+// patterns over more iterations monotonically (in trend) raises entropy and
+// plateaus.
+func TestEntropyGrowsWithIterations(t *testing.T) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 11)
+	iters := m.Trace(testPrompt(cfg, 5, 0, 0.12, 12, 51))
+	// Fig. 3c aggregates decode iterations; the prefill iteration is a
+	// token-averaged distribution that is already blurred.
+	curve := EntropyByIteration(iters[1:])
+	if len(curve) != 50 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[9] <= curve[0] {
+		t.Errorf("entropy did not rise: start %.3f, iter10 %.3f", curve[0], curve[9])
+	}
+	// Plateau: late growth much smaller than early growth.
+	early := curve[9] - curve[0]
+	late := curve[49] - curve[39]
+	if late > early*0.5 {
+		t.Errorf("no plateau: early growth %.3f, late growth %.3f", early, late)
+	}
+}
+
+// TestEntropyOrderingAcrossModels verifies Fig. 3c's model ordering: the
+// aggregated-entropy plateau orders Qwen (60 experts) > Phi (16) > Mixtral (8).
+func TestEntropyOrderingAcrossModels(t *testing.T) {
+	plateau := func(cfg Config) float64 {
+		m := NewModel(cfg, 13)
+		var sum float64
+		const reqs = 3
+		for i := uint64(0); i < reqs; i++ {
+			iters := m.Trace(testPrompt(cfg, i, i, 0.12, 10, 30))
+			curve := EntropyByIteration(iters)
+			sum += curve[len(curve)-1]
+		}
+		return sum / reqs
+	}
+	mix := plateau(Mixtral8x7B())
+	qwen := plateau(Qwen15MoE())
+	phi := plateau(Phi35MoE())
+	if !(qwen > phi && phi > mix) {
+		t.Errorf("plateau ordering wrong: qwen=%.3f phi=%.3f mixtral=%.3f", qwen, phi, mix)
+	}
+}
+
+// TestBalancedRouting verifies the §2.3 premise baked into the simulator:
+// marginal expert usage across many prompts is near-uniform (load-balancing
+// loss), which is what defeats coarse-grained predictors.
+func TestBalancedRouting(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 17)
+	var traces [][]*Iteration
+	for i := uint64(0); i < 40; i++ {
+		traces = append(traces, m.Trace(testPrompt(cfg, i, i%8, 0.15, 6, 10)))
+	}
+	marginal := MarginalUsage(traces, cfg.RoutedExperts)
+	ent := tensor.Entropy(marginal)
+	if ent < 0.9*math.Log(float64(cfg.RoutedExperts)) {
+		t.Fatalf("marginal usage entropy %.3f too low (marginal %v)", ent, marginal)
+	}
+}
+
+// TestSemanticSimilarityPredictsOverlap verifies the Fig. 8/9 phenomenon:
+// same-topic prompts share substantially more activated experts than
+// cross-topic prompts.
+func TestSemanticSimilarityPredictsOverlap(t *testing.T) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 19)
+	overlap := func(a, b []*Iteration) float64 {
+		// Compare decode iteration 1 expert sets layer-wise.
+		return IterationHitRate(a[1], b[1].Active)
+	}
+	same1 := m.Trace(testPrompt(cfg, 100, 4, 0.10, 8, 4))
+	same2 := m.Trace(testPrompt(cfg, 101, 4, 0.10, 8, 4))
+	diff := m.Trace(testPrompt(cfg, 102, 5, 0.10, 8, 4))
+	sameOv := overlap(same1, same2)
+	diffOv := overlap(same1, diff)
+	if sameOv < diffOv+0.2 {
+		t.Fatalf("same-topic overlap %.3f not clearly above cross-topic %.3f", sameOv, diffOv)
+	}
+	if sameOv < 0.6 {
+		t.Fatalf("same-topic overlap %.3f too low for map search to work", sameOv)
+	}
+}
+
+// TestSpeculationAccuracyDecaysWithDistance verifies the Fig. 4 premise:
+// predicting layer l's experts from the hidden state at layer l-d gets
+// monotonically (in trend) worse as d grows.
+func TestSpeculationAccuracyDecaysWithDistance(t *testing.T) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 23)
+	iters := m.Trace(testPrompt(cfg, 200, 2, 0.1, 8, 6))
+	acc := func(d int) float64 {
+		var sum float64
+		var n int
+		probs := make([]float64, cfg.RoutedExperts)
+		for _, it := range iters[1:] {
+			for l := d; l < cfg.Layers; l++ {
+				m.Speculate(it.Hidden[l-d], l, probs)
+				pred := tensor.TopK(probs, cfg.TopK)
+				sum += tensor.OverlapRatio(it.Active[l], pred)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	a1, a4, a12 := acc(1), acc(4), acc(12)
+	if !(a1 > a4 && a4 > a12) {
+		t.Fatalf("speculation accuracy not decaying: d1=%.3f d4=%.3f d12=%.3f", a1, a4, a12)
+	}
+	if a1 < 0.75 {
+		t.Fatalf("distance-1 speculation accuracy %.3f too low (Mixtral-Offloading premise)", a1)
+	}
+}
+
+// TestIterationTrajectoryCoherence: consecutive iterations of one request
+// activate similar experts (temporal locality the Expert Cache exploits),
+// while far-apart iterations drift (request-level blurring).
+func TestIterationTrajectoryCoherence(t *testing.T) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 29)
+	iters := m.Trace(testPrompt(cfg, 300, 1, 0.1, 8, 60))
+	adj := IterationHitRate(iters[2], iters[1].Active)
+	far := IterationHitRate(iters[50], iters[1].Active)
+	if adj < 0.6 {
+		t.Fatalf("adjacent-iteration overlap %.3f too low", adj)
+	}
+	if far >= adj {
+		t.Fatalf("distant-iteration overlap %.3f did not drop below adjacent %.3f", far, adj)
+	}
+}
+
+func TestPrefillUnionLargerThanDecode(t *testing.T) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 31)
+	iters := m.Trace(testPrompt(cfg, 400, 0, 0.1, 37, 3))
+	var prefillAvg, decodeAvg float64
+	for l := 0; l < cfg.Layers; l++ {
+		prefillAvg += float64(len(iters[0].Active[l]))
+		decodeAvg += float64(len(iters[1].Active[l]))
+	}
+	prefillAvg /= float64(cfg.Layers)
+	decodeAvg /= float64(cfg.Layers)
+	if prefillAvg <= decodeAvg {
+		t.Fatalf("prefill union %.2f not larger than decode %.2f", prefillAvg, decodeAvg)
+	}
+	if prefillAvg < 3.5 {
+		t.Fatalf("prefill union %.2f implausibly small for 37 tokens", prefillAvg)
+	}
+}
+
+func TestFlattenProbs(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 37)
+	it := m.Trace(testPrompt(cfg, 500, 0, 0.1, 4, 2))[1]
+	flat := FlattenProbs(it, 2)
+	if len(flat) != 2*cfg.RoutedExperts {
+		t.Fatalf("flatten length %d", len(flat))
+	}
+	if flat[0] != it.Probs[0][0] || flat[cfg.RoutedExperts] != it.Probs[1][0] {
+		t.Fatal("flatten order wrong")
+	}
+	if got := FlattenProbs(it, -1); len(got) != cfg.Layers*cfg.RoutedExperts {
+		t.Fatal("flatten all failed")
+	}
+	if got := FlattenProbs(it, 0); got != nil {
+		t.Fatal("flatten 0 should be nil")
+	}
+}
+
+func TestIterationHitRateEdges(t *testing.T) {
+	it := &Iteration{Active: [][]int{{1, 2}, {3}}}
+	if got := IterationHitRate(it, [][]int{{1, 2}, {3}}); got != 1 {
+		t.Fatalf("perfect prediction hit rate %v", got)
+	}
+	if got := IterationHitRate(it, [][]int{{5}, {6}}); got != 0 {
+		t.Fatalf("wrong prediction hit rate %v", got)
+	}
+	if got := IterationHitRate(it, nil); got != 0 {
+		t.Fatalf("empty prediction hit rate %v", got)
+	}
+	half := IterationHitRate(it, [][]int{{1}, {3}})
+	if math.Abs(half-2.0/3.0) > 1e-12 {
+		t.Fatalf("partial hit rate %v", half)
+	}
+}
+
+func TestNewRequestValidation(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad dim", func() {
+		m.NewRequest(PromptSpec{Embedding: make([]float64, 3), InputTokens: 1, OutputTokens: 1})
+	})
+	mustPanic("zero tokens", func() {
+		m.NewRequest(PromptSpec{Embedding: make([]float64, cfg.SemDim), InputTokens: 0, OutputTokens: 1})
+	})
+	mustPanic("next after done", func() {
+		r := m.NewRequest(testPrompt(cfg, 1, 0, 0.1, 2, 1))
+		r.Next()
+		r.Next()
+	})
+}
+
+func TestActivationHeatmap(t *testing.T) {
+	cfg := Tiny()
+	m := NewModel(cfg, 41)
+	iters := m.Trace(testPrompt(cfg, 600, 0, 0.1, 3, 5))
+	h := ActivationHeatmap(iters[1:2], cfg.Layers, cfg.RoutedExperts)
+	var total float64
+	for _, row := range h {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != float64(cfg.Layers*cfg.TopK) {
+		t.Fatalf("single-iteration heatmap mass %v, want %d", total, cfg.Layers*cfg.TopK)
+	}
+}
+
+func BenchmarkDecodeIterationMixtral(b *testing.B) {
+	cfg := Mixtral8x7B()
+	m := NewModel(cfg, 1)
+	p := testPrompt(cfg, 1, 0, 0.1, 2, 1<<30)
+	r := m.NewRequest(p)
+	r.Next() // consume prefill
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Next()
+	}
+}

@@ -1,0 +1,153 @@
+// Package policy defines the contract between the serving engine and expert
+// offloading policies. The engine drives inference iterations and exposes a
+// Runtime for issuing weight transfers; policies (FineMoE and the four
+// baselines) react to per-iteration and per-layer events by prefetching,
+// synchronously loading, and scoring cache evictions.
+package policy
+
+import (
+	"finemoe/internal/cache"
+	"finemoe/internal/moe"
+)
+
+// IterView is the per-request information available when an iteration
+// starts: the observed semantic embedding (embedding-layer output, §4.2.1)
+// and the phase of the request.
+type IterView struct {
+	// ReqID identifies the request within the run.
+	ReqID uint64
+	// Iter is the iteration index (0 = prefill).
+	Iter int
+	// Semantic is the observed semantic embedding for this iteration.
+	Semantic []float64
+	// IsPrefill marks the prompt-processing iteration.
+	IsPrefill bool
+	// Tokens is the number of tokens this iteration processes.
+	Tokens int
+}
+
+// LayerView is the per-request gate observation delivered after a layer's
+// gate network runs: the probability distribution over the layer's experts
+// and the hidden state feeding the gate (the signal speculative policies
+// use).
+type LayerView struct {
+	ReqID  uint64
+	Iter   int
+	Probs  []float64
+	Hidden []float64
+}
+
+// Runtime is the engine surface available to policies. All times are
+// virtual milliseconds.
+type Runtime interface {
+	// Config returns the model being served.
+	Config() moe.Config
+	// Prefetch enqueues an asynchronous expert transfer. issueTime is
+	// when the transfer may begin — policies add their own prediction
+	// latency here so asynchronous search costs are modeled faithfully.
+	// It returns false if the expert is already resident or in flight.
+	Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool
+	// SyncLoad blocks inference until every ref is resident and returns
+	// the completion time. Used by synchronous designs (DeepSpeed,
+	// Mixtral-Offloading, MoE-Infinity).
+	SyncLoad(refs []moe.ExpertRef, now float64) float64
+	// Resident reports whether the expert's weights are in GPU memory.
+	Resident(ref moe.ExpertRef) bool
+	// Tracked reports whether a transfer for ref is queued or in flight.
+	Tracked(ref moe.ExpertRef) bool
+}
+
+// Policy is an expert offloading strategy. Hook return values are
+// synchronous CPU-side delays in milliseconds added to the inference clock
+// (asynchronous designs return 0 and model their latency through prefetch
+// issue times).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Attach binds the policy to an engine runtime before serving.
+	Attach(rt Runtime)
+	// StartRequest fires when a request is admitted.
+	StartRequest(reqID uint64, now float64) float64
+	// StartIteration fires before layer 0 of every iteration with one
+	// view per request in the batch.
+	StartIteration(views []IterView, now float64) float64
+	// OnGate fires after layer's gate output and before the layer's
+	// experts are resolved and computed.
+	OnGate(layer int, views []LayerView, now float64) float64
+	// EndIteration fires after the last layer with the request's full
+	// iteration record (the paper's Step 5 map update).
+	EndIteration(reqID uint64, it *moe.Iteration, now float64) float64
+	// EndRequest fires when a request completes.
+	EndRequest(reqID uint64, now float64)
+	// Scorer returns the cache-eviction scorer the policy pairs with.
+	Scorer() cache.Scorer
+	// Breakdown returns cumulative per-component latencies (ms) for the
+	// paper's Fig. 17 accounting, including asynchronous work that does
+	// not contribute to end-to-end time.
+	Breakdown() map[string]float64
+	// MemoryOverheadBytes reports CPU-side metadata memory (the Expert
+	// Map Store for FineMoE, the EAM collection for MoE-Infinity).
+	MemoryOverheadBytes() int64
+}
+
+// Base provides no-op defaults so policies only implement the hooks they
+// need. Embed it by value.
+type Base struct {
+	RT        Runtime
+	breakdown map[string]float64
+}
+
+// Attach stores the runtime.
+func (b *Base) Attach(rt Runtime) { b.RT = rt }
+
+// StartRequest is a no-op.
+func (b *Base) StartRequest(uint64, float64) float64 { return 0 }
+
+// StartIteration is a no-op.
+func (b *Base) StartIteration([]IterView, float64) float64 { return 0 }
+
+// OnGate is a no-op.
+func (b *Base) OnGate(int, []LayerView, float64) float64 { return 0 }
+
+// EndIteration is a no-op.
+func (b *Base) EndIteration(uint64, *moe.Iteration, float64) float64 { return 0 }
+
+// EndRequest is a no-op.
+func (b *Base) EndRequest(uint64, float64) {}
+
+// Scorer defaults to LRU.
+func (b *Base) Scorer() cache.Scorer { return cache.LRU{} }
+
+// MemoryOverheadBytes defaults to zero.
+func (b *Base) MemoryOverheadBytes() int64 { return 0 }
+
+// Account accumulates a named latency component.
+func (b *Base) Account(component string, ms float64) {
+	if b.breakdown == nil {
+		b.breakdown = map[string]float64{}
+	}
+	b.breakdown[component] += ms
+}
+
+// Breakdown returns accumulated component latencies.
+func (b *Base) Breakdown() map[string]float64 {
+	if b.breakdown == nil {
+		return map[string]float64{}
+	}
+	out := make(map[string]float64, len(b.breakdown))
+	for k, v := range b.breakdown {
+		out[k] = v
+	}
+	return out
+}
+
+// Standard breakdown component names (Fig. 17).
+const (
+	CompCollect  = "collect_context"
+	CompMapMatch = "map_match"
+	CompPrefetch = "expert_prefetch"
+	CompLoad     = "expert_load"
+	CompUpdate   = "map_update"
+	CompInfer    = "inference"
+	CompPredict  = "predict_sync"
+)

@@ -1,0 +1,69 @@
+package policy
+
+import (
+	"testing"
+
+	"finemoe/internal/moe"
+)
+
+func TestBaseDefaults(t *testing.T) {
+	var b Base
+	if d := b.StartRequest(1, 0); d != 0 {
+		t.Fatal("StartRequest default not zero")
+	}
+	if d := b.StartIteration(nil, 0); d != 0 {
+		t.Fatal("StartIteration default not zero")
+	}
+	if d := b.OnGate(0, nil, 0); d != 0 {
+		t.Fatal("OnGate default not zero")
+	}
+	if d := b.EndIteration(1, &moe.Iteration{}, 0); d != 0 {
+		t.Fatal("EndIteration default not zero")
+	}
+	b.EndRequest(1, 0) // must not panic
+	if b.Scorer() == nil || b.Scorer().Name() != "LRU" {
+		t.Fatal("default scorer must be LRU")
+	}
+	if b.MemoryOverheadBytes() != 0 {
+		t.Fatal("default memory overhead")
+	}
+}
+
+func TestBaseBreakdownAccumulates(t *testing.T) {
+	var b Base
+	if len(b.Breakdown()) != 0 {
+		t.Fatal("fresh breakdown not empty")
+	}
+	b.Account(CompMapMatch, 1.5)
+	b.Account(CompMapMatch, 0.5)
+	b.Account(CompUpdate, 2)
+	bd := b.Breakdown()
+	if bd[CompMapMatch] != 2 || bd[CompUpdate] != 2 {
+		t.Fatalf("breakdown %v", bd)
+	}
+	// Returned map is a copy.
+	bd[CompMapMatch] = 99
+	if b.Breakdown()[CompMapMatch] != 2 {
+		t.Fatal("Breakdown leaked internal state")
+	}
+}
+
+func TestBaseAttach(t *testing.T) {
+	var b Base
+	if b.RT != nil {
+		t.Fatal("zero Base has runtime")
+	}
+	b.Attach(nil)
+	// Attach stores whatever it is given; policies check for nil.
+}
+
+func TestComponentNamesDistinct(t *testing.T) {
+	names := []string{CompCollect, CompMapMatch, CompPrefetch, CompLoad, CompUpdate, CompInfer, CompPredict}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("component names not distinct: %v", names)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,566 @@
+// Package serve implements the MoE serving engine: the prefill/decode
+// iteration loop over the simulated cluster, the policy hook protocol,
+// offline (fixed-batch) and online (trace-driven continuous batching)
+// runners, and the paper's metrics — TTFT, TPOT, expert hit rate, and the
+// per-iteration latency breakdown of Fig. 17.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"finemoe/internal/cache"
+	"finemoe/internal/memsim"
+	"finemoe/internal/metrics"
+	"finemoe/internal/moe"
+	"finemoe/internal/policy"
+	"finemoe/internal/workload"
+)
+
+// Options configures one serving run.
+type Options struct {
+	// Model is the simulated MoE model.
+	Model *moe.Model
+	// GPU is the device type; NumGPUs the expert-parallel degree
+	// (the paper's testbed: 6× RTX 3090).
+	GPU     memsim.GPUSpec
+	NumGPUs int
+	// CacheBytes is the total expert-cache budget across devices
+	// (Fig. 12's x-axis). Zero derives a default: the device memory left
+	// after dense weights, capped at half the expert weights.
+	CacheBytes int64
+	// Policy is the offloading policy under test.
+	Policy policy.Policy
+	// BatchSize is the offline lockstep batch (default 1, Fig. 16b
+	// sweeps 1–8).
+	BatchSize int
+	// MaxBatch bounds online continuous batching (default 8).
+	MaxBatch int
+	// PreloadAll makes every expert resident at t=0 (No-offload).
+	PreloadAll bool
+}
+
+// RequestMetrics records one served request.
+type RequestMetrics struct {
+	ID        uint64
+	ArrivalMS float64
+	StartMS   float64
+	// FirstTokenMS is the absolute completion time of the prefill
+	// iteration.
+	FirstTokenMS float64
+	EndMS        float64
+	// TTFTms is first-token latency including queueing (§2.1).
+	TTFTms float64
+	// TPOTms is the mean decode time per output token.
+	TPOTms float64
+	// E2Ems is the end-to-end request latency (Fig. 11).
+	E2Ems float64
+	// Hits/Misses count expert-cache residency at activation time.
+	Hits, Misses int
+	OutputTokens int
+}
+
+// HitRate returns the request's expert hit rate.
+func (r RequestMetrics) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 1
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Result aggregates a serving run.
+type Result struct {
+	Policy   string
+	Model    string
+	Requests []RequestMetrics
+	// MeanTTFT/MeanTPOT are the paper's headline offline metrics.
+	MeanTTFT, MeanTPOT float64
+	// Latency order statistics across requests (ms).
+	TTFT, TPOT, E2E metrics.Summary
+	// HitRate is total hits / activations across the run.
+	HitRate float64
+	// Breakdown maps component -> mean ms per iteration (Fig. 17).
+	Breakdown  map[string]float64
+	Iterations int
+	// GPUMemoryBytes is the serving memory footprint: dense weights plus
+	// the expert-cache budget (Fig. 1b's memory axis).
+	GPUMemoryBytes int64
+	// PolicyOverheadBytes is CPU-side metadata (Expert Map Store / EAM
+	// collection).
+	PolicyOverheadBytes int64
+	CacheStats          cache.Stats
+	LinkStats           memsim.LinkStats
+	// WallClockMS is the simulated makespan of the run.
+	WallClockMS float64
+}
+
+// Engine executes serving runs. Construct a fresh Engine (and policy) per
+// run; engines are not safe for concurrent use.
+type Engine struct {
+	opts    Options
+	cfg     moe.Config
+	model   *moe.Model
+	cluster *memsim.Cluster
+	caches  *cache.Set
+	pol     policy.Policy
+
+	breakdown  map[string]float64
+	iterations int
+	syncLoadMS float64 // cumulative SyncLoad wait, for attribution
+	hits       int
+	misses     int
+}
+
+// New builds an engine for one run.
+func New(opts Options) *Engine {
+	if opts.Model == nil {
+		panic("serve: nil model")
+	}
+	if opts.Policy == nil {
+		panic("serve: nil policy")
+	}
+	if opts.NumGPUs <= 0 {
+		opts.NumGPUs = 1
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 8
+	}
+	cfg := opts.Model.Cfg
+	if opts.CacheBytes <= 0 {
+		free := opts.GPU.MemBytes*int64(opts.NumGPUs) - cfg.DenseBytes()*int64(opts.NumGPUs)
+		half := cfg.TotalExpertBytes() / 2
+		opts.CacheBytes = free
+		if opts.CacheBytes > half {
+			opts.CacheBytes = half
+		}
+		if opts.CacheBytes < cfg.ExpertBytes()*int64(cfg.Layers) {
+			opts.CacheBytes = cfg.ExpertBytes() * int64(cfg.Layers)
+		}
+	}
+	e := &Engine{
+		opts:      opts,
+		cfg:       cfg,
+		model:     opts.Model,
+		cluster:   memsim.NewCluster(opts.GPU, opts.NumGPUs, cfg),
+		caches:    cache.NewSet(cfg, opts.NumGPUs, opts.CacheBytes, opts.Policy.Scorer()),
+		pol:       opts.Policy,
+		breakdown: map[string]float64{},
+	}
+	e.pol.Attach(e)
+	if opts.PreloadAll {
+		for l := 0; l < cfg.Layers; l++ {
+			for j := 0; j < cfg.RoutedExperts; j++ {
+				e.caches.Insert(moe.ExpertRef{Layer: l, Expert: j}, 0)
+			}
+		}
+	}
+	return e
+}
+
+// --- policy.Runtime implementation -----------------------------------------
+
+// Config implements policy.Runtime.
+func (e *Engine) Config() moe.Config { return e.cfg }
+
+// Resident implements policy.Runtime.
+func (e *Engine) Resident(ref moe.ExpertRef) bool { return e.caches.Contains(ref) }
+
+// Tracked implements policy.Runtime.
+func (e *Engine) Tracked(ref moe.ExpertRef) bool { return e.cluster.Tracked(ref) }
+
+// Prefetch implements policy.Runtime.
+func (e *Engine) Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool {
+	if e.caches.Contains(ref) {
+		return false
+	}
+	return e.cluster.Prefetch(ref, priority, issueTime)
+}
+
+// SyncLoad implements policy.Runtime: blocking parallel loads across links.
+func (e *Engine) SyncLoad(refs []moe.ExpertRef, now float64) float64 {
+	var missing []moe.ExpertRef
+	for _, r := range refs {
+		if !e.caches.Contains(r) {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) == 0 {
+		return now
+	}
+	end := e.cluster.SyncLoad(missing, now)
+	e.drain(end)
+	e.syncLoadMS += end - now
+	return end
+}
+
+// drain advances the cluster to now and makes completed transfers resident.
+func (e *Engine) drain(now float64) {
+	for _, t := range e.cluster.AdvanceTo(now) {
+		e.caches.Insert(t.Ref, t.End)
+	}
+}
+
+func (e *Engine) account(component string, ms float64) {
+	e.breakdown[component] += ms
+}
+
+// --- iteration execution ----------------------------------------------------
+
+// runReq is a request in flight.
+type runReq struct {
+	req     workload.Request
+	iters   []*moe.Iteration
+	next    int // next iteration index
+	metrics RequestMetrics
+}
+
+func (r *runReq) done() bool { return r.next >= len(r.iters) }
+
+// runIteration executes one lockstep iteration for the batch (all members
+// at the same phase index semantics are not required; each request runs its
+// own next iteration). Returns the completion time.
+func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
+	e.iterations++
+	iterViews := make([]policy.IterView, len(batch))
+	totalTokens := 0
+	for i, r := range batch {
+		it := r.iters[r.next]
+		iterViews[i] = policy.IterView{
+			ReqID:     r.req.ID,
+			Iter:      it.Index,
+			Semantic:  it.Semantic,
+			IsPrefill: it.Index == 0,
+			Tokens:    it.Tokens,
+		}
+		totalTokens += it.Tokens
+	}
+	now = e.hook(now, func(t float64) float64 { return e.pol.StartIteration(iterViews, t) })
+
+	layerViews := make([]policy.LayerView, len(batch))
+	for l := 0; l < e.cfg.Layers; l++ {
+		// Dense (attention + norms + shared experts) compute.
+		attn := e.attnTime(totalTokens)
+		now += attn
+		e.account(policy.CompInfer, attn)
+		e.drain(now)
+
+		// Gate outputs observed; policy reacts.
+		for i, r := range batch {
+			it := r.iters[r.next]
+			layerViews[i] = policy.LayerView{
+				ReqID:  r.req.ID,
+				Iter:   it.Index,
+				Probs:  it.Probs[l],
+				Hidden: it.Hidden[l],
+			}
+		}
+		now = e.hook(now, func(t float64) float64 { return e.pol.OnGate(l, layerViews, t) })
+		e.drain(now)
+
+		// Resolve the batch's activated experts: residency snapshot
+		// determines hits (§3.2 Step 4), then misses load on demand.
+		active, perReq := e.unionActive(batch, l)
+		resident := make(map[moe.ExpertRef]bool, len(active))
+		for _, ref := range active {
+			resident[ref] = e.caches.Contains(ref)
+		}
+		for i, r := range batch {
+			for _, ref := range perReq[i] {
+				if resident[ref] {
+					r.metrics.Hits++
+				} else {
+					r.metrics.Misses++
+				}
+			}
+		}
+		for _, ref := range active {
+			if resident[ref] {
+				e.hits++
+				e.caches.Lookup(ref, now)
+				e.caches.Pin(ref)
+				continue
+			}
+			e.misses++
+			avail := e.cluster.OnDemand(ref, now)
+			stall := avail - now
+			now = avail
+			e.account(policy.CompLoad, stall)
+			e.drain(now)
+			e.caches.Lookup(ref, now)
+			e.caches.Pin(ref)
+		}
+
+		// Expert FFN compute.
+		ec := e.expertTime(active, totalTokens)
+		now += ec
+		e.account(policy.CompInfer, ec)
+		e.caches.UnpinAll()
+	}
+
+	for _, r := range batch {
+		it := r.iters[r.next]
+		now = e.hook(now, func(t float64) float64 { return e.pol.EndIteration(r.req.ID, it, t) })
+	}
+	return now
+}
+
+// hook runs a policy hook, applies its synchronous delay to the clock, and
+// attributes the portion spent inside SyncLoad to expert loading and the
+// remainder to prediction compute.
+func (e *Engine) hook(now float64, f func(now float64) float64) float64 {
+	mark := e.syncLoadMS
+	delay := f(now)
+	if delay < 0 {
+		panic(fmt.Sprintf("serve: negative policy delay %v", delay))
+	}
+	loadPart := e.syncLoadMS - mark
+	predictPart := delay - loadPart
+	if predictPart < 0 {
+		predictPart = 0
+	}
+	e.account(policy.CompLoad, loadPart)
+	e.account(policy.CompPredict, predictPart)
+	return now + delay
+}
+
+// unionActive returns the deduplicated activated experts at layer l across
+// the batch (first-activation order) and each request's own activation set.
+func (e *Engine) unionActive(batch []*runReq, l int) ([]moe.ExpertRef, [][]moe.ExpertRef) {
+	var union []moe.ExpertRef
+	seen := map[moe.ExpertRef]bool{}
+	perReq := make([][]moe.ExpertRef, len(batch))
+	for i, r := range batch {
+		it := r.iters[r.next]
+		refs := make([]moe.ExpertRef, 0, len(it.Active[l]))
+		for _, j := range it.Active[l] {
+			ref := moe.ExpertRef{Layer: l, Expert: j}
+			refs = append(refs, ref)
+			if !seen[ref] {
+				seen[ref] = true
+				union = append(union, ref)
+			}
+		}
+		perReq[i] = refs
+	}
+	return union, perReq
+}
+
+// attnTime models the dense portion of one layer: framework overhead plus
+// memory-bound weight reads plus FLOPs-bound token compute.
+func (e *Engine) attnTime(tokens int) float64 {
+	denseLayerBytes := e.cfg.DenseBytes() / int64(e.cfg.Layers)
+	read := e.opts.GPU.ReadMS(denseLayerBytes)
+	flops := e.opts.GPU.FlopsMS(2 * float64(e.cfg.DenseParams/int64(e.cfg.Layers)) * float64(tokens))
+	return e.opts.GPU.PerLayerOverheadMS + math.Max(read, flops)
+}
+
+// expertTime models the expert FFN compute of one layer under expert
+// parallelism: each device reads/computes its share of activated experts;
+// the layer waits on the slowest device.
+func (e *Engine) expertTime(active []moe.ExpertRef, tokens int) float64 {
+	if len(active) == 0 {
+		return 0
+	}
+	perGPU := make([]float64, e.opts.NumGPUs)
+	tokensPerExpert := float64(tokens) * float64(e.cfg.TopK) / float64(len(active))
+	for _, ref := range active {
+		g := e.cluster.GPUFor(ref)
+		read := e.opts.GPU.ReadMS(e.cfg.ExpertBytes())
+		flops := e.opts.GPU.FlopsMS(2 * float64(e.cfg.ExpertParams()) * tokensPerExpert)
+		perGPU[g] += math.Max(read, flops)
+	}
+	maxT := 0.0
+	for _, t := range perGPU {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// finalize computes aggregate metrics.
+func (e *Engine) finalize(reqs []RequestMetrics, wallClock float64) *Result {
+	res := &Result{
+		Policy:              e.pol.Name(),
+		Model:               e.cfg.Name,
+		Requests:            reqs,
+		Breakdown:           map[string]float64{},
+		Iterations:          e.iterations,
+		GPUMemoryBytes:      e.cfg.DenseBytes()*int64(e.opts.NumGPUs) + e.opts.CacheBytes,
+		PolicyOverheadBytes: e.pol.MemoryOverheadBytes(),
+		CacheStats:          e.caches.Stats(),
+		LinkStats:           e.cluster.Stats(),
+		WallClockMS:         wallClock,
+	}
+	var ttfts, tpots, e2es []float64
+	for _, r := range reqs {
+		ttfts = append(ttfts, r.TTFTms)
+		e2es = append(e2es, r.E2Ems)
+		if r.OutputTokens > 1 {
+			tpots = append(tpots, r.TPOTms)
+		}
+	}
+	res.TTFT = metrics.Summarize(ttfts)
+	res.TPOT = metrics.Summarize(tpots)
+	res.E2E = metrics.Summarize(e2es)
+	res.MeanTTFT = res.TTFT.Mean
+	res.MeanTPOT = res.TPOT.Mean
+	if e.hits+e.misses > 0 {
+		res.HitRate = float64(e.hits) / float64(e.hits+e.misses)
+	} else {
+		res.HitRate = 1
+	}
+	for k, v := range e.breakdown {
+		res.Breakdown[k] = v
+	}
+	for k, v := range e.pol.Breakdown() {
+		res.Breakdown[k] += v
+	}
+	if e.iterations > 0 {
+		for k := range res.Breakdown {
+			res.Breakdown[k] /= float64(e.iterations)
+		}
+	}
+	return res
+}
+
+// traceOf returns the request's gate trace, from the supplied cache or by
+// simulating.
+func traceOf(m *moe.Model, req workload.Request, traces map[uint64][]*moe.Iteration) []*moe.Iteration {
+	if traces != nil {
+		if t, ok := traces[req.ID]; ok {
+			return t
+		}
+	}
+	return m.Trace(req.PromptSpec)
+}
+
+// RunOffline serves requests in fixed-size lockstep batches (§6.2's setup:
+// sequential prompts, batch size 1 unless Fig. 16b sweeps it). traces may
+// pre-supply gate traces keyed by request ID to share simulation work
+// across policy runs; nil simulates on the fly.
+func (e *Engine) RunOffline(reqs []workload.Request, traces map[uint64][]*moe.Iteration) *Result {
+	var metrics []RequestMetrics
+	now := 0.0
+	for base := 0; base < len(reqs); base += e.opts.BatchSize {
+		endIdx := base + e.opts.BatchSize
+		if endIdx > len(reqs) {
+			endIdx = len(reqs)
+		}
+		var batch []*runReq
+		for _, q := range reqs[base:endIdx] {
+			r := &runReq{req: q, iters: traceOf(e.model, q, traces)}
+			r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: now, StartMS: now, OutputTokens: q.OutputTokens}
+			batch = append(batch, r)
+			now = e.hook(now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
+		}
+		for {
+			var live []*runReq
+			for _, r := range batch {
+				if !r.done() {
+					live = append(live, r)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			end := e.runIteration(live, now)
+			for _, r := range live {
+				it := r.iters[r.next]
+				if it.Index == 0 {
+					r.metrics.FirstTokenMS = end
+					r.metrics.TTFTms = end - r.metrics.ArrivalMS
+				}
+				r.next++
+				if r.done() {
+					r.metrics.EndMS = end
+					r.metrics.E2Ems = end - r.metrics.ArrivalMS
+					if r.req.OutputTokens > 1 {
+						r.metrics.TPOTms = (end - r.metrics.FirstTokenMS) / float64(r.req.OutputTokens-1)
+					}
+					e.pol.EndRequest(r.req.ID, end)
+					metrics = append(metrics, r.metrics)
+				}
+			}
+			now = end
+		}
+	}
+	return e.finalize(metrics, now)
+}
+
+// RunOnline replays an arrival trace with iteration-granularity continuous
+// batching (§6.3): requests queue on arrival, join the running batch up to
+// MaxBatch at iteration boundaries (prefill first), and leave on
+// completion. The Expert Map Store / EAM collection start however the
+// caller built them — empty for the paper's online experiment.
+func (e *Engine) RunOnline(trace []workload.Request, traces map[uint64][]*moe.Iteration) *Result {
+	var metrics []RequestMetrics
+	pending := append([]workload.Request(nil), trace...)
+	var running []*runReq
+	now := 0.0
+
+	admit := func() []*runReq {
+		var fresh []*runReq
+		for len(pending) > 0 && len(running) < e.opts.MaxBatch && pending[0].ArrivalMS <= now {
+			q := pending[0]
+			pending = pending[1:]
+			r := &runReq{req: q, iters: traceOf(e.model, q, traces)}
+			r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: q.ArrivalMS, StartMS: now, OutputTokens: q.OutputTokens}
+			now = e.hook(now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
+			running = append(running, r)
+			fresh = append(fresh, r)
+		}
+		return fresh
+	}
+
+	finishIteration := func(batch []*runReq, end float64) {
+		for _, r := range batch {
+			it := r.iters[r.next]
+			if it.Index == 0 {
+				r.metrics.FirstTokenMS = end
+				r.metrics.TTFTms = end - r.metrics.ArrivalMS
+			}
+			r.next++
+			if r.done() {
+				r.metrics.EndMS = end
+				r.metrics.E2Ems = end - r.metrics.ArrivalMS
+				if r.req.OutputTokens > 1 {
+					r.metrics.TPOTms = (end - r.metrics.FirstTokenMS) / float64(r.req.OutputTokens-1)
+				}
+				e.pol.EndRequest(r.req.ID, end)
+				metrics = append(metrics, r.metrics)
+				for i, rr := range running {
+					if rr == r {
+						running = append(running[:i], running[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for len(pending) > 0 || len(running) > 0 {
+		if len(running) == 0 && len(pending) > 0 && pending[0].ArrivalMS > now {
+			now = pending[0].ArrivalMS
+		}
+		fresh := admit()
+		if len(fresh) > 0 {
+			// Prefill newly admitted requests together.
+			end := e.runIteration(fresh, now)
+			finishIteration(fresh, end)
+			now = end
+			continue
+		}
+		if len(running) == 0 {
+			continue
+		}
+		batch := append([]*runReq(nil), running...)
+		end := e.runIteration(batch, now)
+		finishIteration(batch, end)
+		now = end
+	}
+	return e.finalize(metrics, now)
+}

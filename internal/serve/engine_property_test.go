@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/baselines"
+	"finemoe/internal/core"
+	"finemoe/internal/moe"
+	"finemoe/internal/policy"
+	"finemoe/internal/rng"
+	"finemoe/internal/workload"
+)
+
+// TestEngineConservationProperty: for any random workload and policy, the
+// engine must conserve basic accounting: every activation is a hit or a
+// miss, per-request times are ordered, and the virtual clock never runs
+// backwards across requests.
+func TestEngineConservationProperty(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 404)
+	r := rng.New(17)
+	builders := []func() policy.Policy{
+		func() policy.Policy { return baselines.NewDeepSpeed() },
+		func() policy.Policy { return baselines.NewMixtralOffload(m) },
+		func() policy.Policy { return baselines.NewProMoE(m) },
+		func() policy.Policy { return baselines.NewMoEInfinity(baselines.NewEAMCollection(cfg)) },
+		func() policy.Policy { return core.NewFineMoE(core.NewStore(cfg, 50, 2), core.Options{}) },
+	}
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		d := workload.Dataset{Name: "prop", Topics: 4, TopicSpread: 0.1,
+			MeanInput: 4 + rr.Intn(6), MeanOutput: 2 + rr.Intn(6), Seed: seed}
+		n := 1 + rr.Intn(4)
+		reqs := d.Sample(workload.Options{Dim: cfg.SemDim, N: n, Seed: seed, FixedLengths: true})
+		capacityExperts := 1 + rr.Intn(cfg.NumExperts())
+		e := New(Options{
+			Model: m, GPU: testGPU(), NumGPUs: 1 + rr.Intn(3),
+			CacheBytes: cfg.ExpertBytes() * int64(capacityExperts),
+			Policy:     builders[rr.Intn(len(builders))](),
+			BatchSize:  1 + rr.Intn(3),
+		})
+		res := e.RunOffline(reqs, nil)
+		if len(res.Requests) != n {
+			t.Logf("lost requests: %d of %d", len(res.Requests), n)
+			return false
+		}
+		var acts int
+		for _, q := range reqs {
+			for _, it := range m.Trace(q.PromptSpec) {
+				for _, a := range it.Active {
+					acts += len(a)
+				}
+			}
+		}
+		var hits, misses int
+		for _, rm := range res.Requests {
+			hits += rm.Hits
+			misses += rm.Misses
+			if rm.TTFTms <= 0 || rm.E2Ems < rm.TTFTms-1e-9 {
+				t.Logf("time ordering broken: %+v", rm)
+				return false
+			}
+			if rm.EndMS < rm.FirstTokenMS {
+				t.Logf("end before first token: %+v", rm)
+				return false
+			}
+		}
+		if hits+misses != acts {
+			t.Logf("activation conservation broken: %d+%d != %d", hits, misses, acts)
+			return false
+		}
+		if res.WallClockMS < res.E2E.Max-1e-6 {
+			t.Logf("makespan %v below max E2E %v", res.WallClockMS, res.E2E.Max)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

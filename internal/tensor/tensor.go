@@ -1,0 +1,340 @@
+// Package tensor provides the small dense linear-algebra and
+// information-theory kernels the FineMoE simulator is built on: softmax,
+// top-k selection, cosine similarity, Shannon entropy, and Pearson
+// correlation.
+//
+// Vectors are plain []float64 slices; matrices are row-major flat slices.
+// The package allocates only where documented so the serving engine's hot
+// loops can reuse buffers.
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit norm. A zero vector is left unchanged.
+func Normalize(v []float64) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of a and b, in [-1, 1]. If either
+// vector is zero it returns 0.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Clamp against floating point drift so downstream Clip(1-score) math
+	// stays in range.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Axpy computes dst[i] += alpha * x[i].
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v in place by alpha.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Copy returns a fresh copy of v.
+func Copy(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// MatVec computes dst = M·v where M is rows×cols row-major. dst must have
+// length rows; v must have length cols.
+func MatVec(m []float64, rows, cols int, v, dst []float64) {
+	if len(m) != rows*cols || len(v) != cols || len(dst) != rows {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		row := m[r*cols : (r+1)*cols]
+		var s float64
+		for c, x := range row {
+			s += x * v[c]
+		}
+		dst[r] = s
+	}
+}
+
+// Softmax writes softmax(logits * invTemp) into dst (dst may alias logits).
+// It is numerically stable under large logits.
+func Softmax(logits []float64, invTemp float64, dst []float64) {
+	if len(logits) != len(dst) {
+		panic("tensor: Softmax length mismatch")
+	}
+	maxL := math.Inf(-1)
+	for _, x := range logits {
+		if x*invTemp > maxL {
+			maxL = x * invTemp
+		}
+	}
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(x*invTemp - maxL)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// TopK returns the indices of the k largest values of p in descending value
+// order. Ties break toward the lower index for determinism. It panics if
+// k < 0 or k > len(p).
+func TopK(p []float64, k int) []int {
+	if k < 0 || k > len(p) {
+		panic("tensor: TopK k out of range")
+	}
+	idx := make([]int, len(p))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if p[idx[a]] != p[idx[b]] {
+			return p[idx[a]] > p[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k:k]
+}
+
+// ArgMax returns the index of the largest element, lowest index on ties.
+// It panics on an empty slice.
+func ArgMax(p []float64) int {
+	if len(p) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy of the distribution p in nats.
+// Zero entries contribute zero. It does not verify normalization; callers
+// that need a true distribution should Normalize1 first.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// Normalize1 scales v in place so entries sum to 1. Negative entries are
+// clamped to 0 first. If the sum is zero the vector becomes uniform.
+func Normalize1(v []float64) {
+	var sum float64
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		} else {
+			sum += x
+		}
+	}
+	if sum == 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It panics if lengths differ, and returns 0 when either side has zero
+// variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Pearson length mismatch")
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Clip returns v clamped to [lo, hi].
+func Clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// CumulativeTopSet returns the smallest prefix of experts, in descending
+// probability order, whose cumulative probability reaches threshold, but
+// never fewer than minCount entries (capped at len(p)). This implements the
+// paper's Eq. 6-8 similarity-aware expert selection.
+func CumulativeTopSet(p []float64, threshold float64, minCount int) []int {
+	order := TopK(p, len(p))
+	if minCount > len(p) {
+		minCount = len(p)
+	}
+	var cum float64
+	out := make([]int, 0, minCount)
+	for _, j := range order {
+		if len(out) >= minCount && cum >= threshold {
+			break
+		}
+		out = append(out, j)
+		cum += p[j]
+	}
+	return out
+}
+
+// OverlapRatio returns |a ∩ b| / |a| treating a as the reference set.
+// An empty reference yields 1 (vacuously satisfied).
+func OverlapRatio(a, b []int) float64 {
+	if len(a) == 0 {
+		return 1
+	}
+	set := make(map[int]struct{}, len(b))
+	for _, v := range b {
+		set[v] = struct{}{}
+	}
+	hit := 0
+	for _, v := range a {
+		if _, ok := set[v]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(a))
+}
+
+// Float32s converts v to float32 storage (the on-disk/in-store precision the
+// paper uses for expert maps).
+func Float32s(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Float64s converts back from float32 storage.
+func Float64s(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// CosineF32 computes cosine similarity over float32 storage without
+// converting to float64 slices (hot path of expert-map search).
+func CosineF32(a, b []float32) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}

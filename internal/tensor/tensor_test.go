@@ -1,0 +1,445 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if !almostEqual(Norm(v), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v", Norm(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector mutated")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := Cosine(a, b); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, a); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("self cosine = %v", got)
+	}
+	if got := Cosine(a, []float64{-1, 0}); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("opposite cosine = %v", got)
+	}
+	if got := Cosine(a, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestCosineRangeProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		a := make([]float64, 16)
+		b := make([]float64, 16)
+		for i := range a {
+			a[i] = rr.Norm() * 100
+			b[i] = rr.Norm() * 100
+		}
+		c := Cosine(a, b)
+		return c >= -1 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	logits := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	Softmax(logits, 1, dst)
+	var sum float64
+	for _, p := range dst {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("softmax entry out of (0,1): %v", dst)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(dst[3] > dst[2] && dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatalf("softmax not monotone: %v", dst)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	logits := []float64{1e6, 1e6 + 1}
+	dst := make([]float64, 2)
+	Softmax(logits, 1, dst)
+	if math.IsNaN(dst[0]) || math.IsNaN(dst[1]) {
+		t.Fatalf("softmax NaN on large logits: %v", dst)
+	}
+	if !almostEqual(dst[0]+dst[1], 1, 1e-12) {
+		t.Fatalf("softmax sum = %v", dst[0]+dst[1])
+	}
+}
+
+func TestSoftmaxTemperature(t *testing.T) {
+	logits := []float64{0, 1}
+	cold := make([]float64, 2)
+	hot := make([]float64, 2)
+	Softmax(logits, 10, cold) // high inverse temp => peaked
+	Softmax(logits, 0.1, hot) // low inverse temp => flat
+	if cold[1] <= hot[1] {
+		t.Fatalf("temperature scaling wrong: cold=%v hot=%v", cold, hot)
+	}
+}
+
+func TestSoftmaxProperty(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		n := 1 + rr.Intn(32)
+		logits := make([]float64, n)
+		for i := range logits {
+			logits[i] = rr.Norm() * 10
+		}
+		dst := make([]float64, n)
+		Softmax(logits, 2.5, dst)
+		var sum float64
+		for _, p := range dst {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p := []float64{0.1, 0.5, 0.2, 0.2}
+	got := TopK(p, 2)
+	if got[0] != 1 {
+		t.Fatalf("TopK first = %d, want 1", got[0])
+	}
+	if got[1] != 2 { // tie between idx 2 and 3 breaks low
+		t.Fatalf("TopK tie-break = %d, want 2", got[1])
+	}
+	if len(TopK(p, 0)) != 0 {
+		t.Fatal("TopK(0) not empty")
+	}
+	all := TopK(p, 4)
+	if len(all) != 4 {
+		t.Fatalf("TopK full length = %d", len(all))
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TopK([]float64{1}, 2)
+}
+
+func TestTopKProperty(t *testing.T) {
+	r := rng.New(3)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		n := 1 + rr.Intn(64)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rr.Float64()
+		}
+		k := rr.Intn(n + 1)
+		got := TopK(p, k)
+		if len(got) != k {
+			return false
+		}
+		// Values must be non-increasing, indices unique.
+		seen := map[int]bool{}
+		for i, idx := range got {
+			if seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			if i > 0 && p[got[i-1]] < p[idx] {
+				return false
+			}
+		}
+		// Every excluded value must be <= the smallest included value.
+		if k > 0 {
+			minIn := p[got[k-1]]
+			for i, v := range p {
+				if !seen[i] && v > minIn {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := Entropy(uniform); !almostEqual(got, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy = %v, want ln4", got)
+	}
+	point := []float64{1, 0, 0, 0}
+	if got := Entropy(point); got != 0 {
+		t.Fatalf("point-mass entropy = %v", got)
+	}
+	// Peaked distribution must have lower entropy than uniform.
+	peaked := []float64{0.85, 0.05, 0.05, 0.05}
+	if Entropy(peaked) >= Entropy(uniform) {
+		t.Fatal("peaked entropy not below uniform")
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := []float64{2, 2, 4}
+	Normalize1(v)
+	if !almostEqual(v[0], 0.25, 1e-12) || !almostEqual(v[2], 0.5, 1e-12) {
+		t.Fatalf("Normalize1 = %v", v)
+	}
+	z := []float64{0, 0}
+	Normalize1(z)
+	if !almostEqual(z[0], 0.5, 1e-12) {
+		t.Fatalf("zero-sum fallback = %v", z)
+	}
+	neg := []float64{-1, 1}
+	Normalize1(neg)
+	if neg[0] != 0 || neg[1] != 1 {
+		t.Fatalf("negative clamp = %v", neg)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(x, flat); got != 0 {
+		t.Fatalf("zero-variance correlation = %v", got)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	r := rng.New(4)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		n := 2 + rr.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rr.Norm()
+			y[i] = rr.Norm()
+		}
+		p := Pearson(x, y)
+		return p >= -1-1e-9 && p <= 1+1e-9 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if Clip(2, 0, 1) != 1 || Clip(-1, 0, 1) != 0 || Clip(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clip wrong")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	v := []float64{1, 1, 1}
+	dst := make([]float64, 2)
+	MatVec(m, 2, 3, v, dst)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+}
+
+func TestCumulativeTopSet(t *testing.T) {
+	p := []float64{0.5, 0.3, 0.15, 0.05}
+	// threshold 0.7 with min 1: need {0, 1} (0.5+0.3=0.8 >= 0.7)
+	got := CumulativeTopSet(p, 0.7, 1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("CumulativeTopSet = %v", got)
+	}
+	// min count dominates when threshold already met
+	got = CumulativeTopSet(p, 0.1, 3)
+	if len(got) != 3 {
+		t.Fatalf("min-count CumulativeTopSet = %v", got)
+	}
+	// threshold 1.0 requires everything
+	got = CumulativeTopSet(p, 1.0, 1)
+	if len(got) != 4 {
+		t.Fatalf("full-threshold CumulativeTopSet = %v", got)
+	}
+	// min count larger than len(p) is capped
+	got = CumulativeTopSet(p, 0, 10)
+	if len(got) != 4 {
+		t.Fatalf("capped min count = %v", got)
+	}
+}
+
+func TestCumulativeTopSetProperty(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		n := 2 + rr.Intn(32)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rr.Float64()
+		}
+		Normalize1(p)
+		thr := rr.Float64()
+		minC := 1 + rr.Intn(n)
+		got := CumulativeTopSet(p, thr, minC)
+		if len(got) < minC {
+			return false
+		}
+		var cum float64
+		for _, j := range got {
+			cum += p[j]
+		}
+		// Either threshold satisfied or all experts selected.
+		return cum >= thr-1e-9 || len(got) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	if got := OverlapRatio([]int{1, 2}, []int{2, 3}); got != 0.5 {
+		t.Fatalf("overlap = %v", got)
+	}
+	if got := OverlapRatio(nil, []int{1}); got != 1 {
+		t.Fatalf("empty reference overlap = %v", got)
+	}
+	if got := OverlapRatio([]int{1, 2}, nil); got != 0 {
+		t.Fatalf("empty candidate overlap = %v", got)
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	v := []float64{0.125, 0.25, 0.5}
+	got := Float64s(Float32s(v))
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("round trip failed: %v", got)
+		}
+	}
+}
+
+func TestCosineF32MatchesFloat64(t *testing.T) {
+	r := rng.New(6)
+	a := make([]float64, 64)
+	b := make([]float64, 64)
+	for i := range a {
+		a[i] = r.Norm()
+		b[i] = r.Norm()
+	}
+	want := Cosine(a, b)
+	got := CosineF32(Float32s(a), Float32s(b))
+	if !almostEqual(got, want, 1e-5) {
+		t.Fatalf("CosineF32 = %v, want %v", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestAxpyScaleCopy(t *testing.T) {
+	dst := []float64{1, 1}
+	Axpy(2, []float64{1, 2}, dst)
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("Axpy = %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[0] != 1.5 || dst[1] != 2.5 {
+		t.Fatalf("Scale = %v", dst)
+	}
+	c := Copy(dst)
+	c[0] = 99
+	if dst[0] == 99 {
+		t.Fatal("Copy aliases")
+	}
+}
+
+func BenchmarkSoftmax64(b *testing.B) {
+	logits := make([]float64, 64)
+	dst := make([]float64, 64)
+	r := rng.New(1)
+	for i := range logits {
+		logits[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(logits, 2, dst)
+	}
+}
+
+func BenchmarkCosineF32_1536(b *testing.B) {
+	r := rng.New(1)
+	a := make([]float32, 1536)
+	c := make([]float32, 1536)
+	for i := range a {
+		a[i] = float32(r.Norm())
+		c[i] = float32(r.Norm())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CosineF32(a, c)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	d := LMSYSChat1M()
+	orig := AzureTrace(d, 16, TraceConfig{RatePerSec: 5, N: 12, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, d, 16, orig); err != nil {
+		t.Fatal(err)
+	}
+	gotDS, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDS.Name != d.Name || gotDS.Topics != d.Topics {
+		t.Fatalf("dataset metadata lost: %+v", gotDS)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].ID != orig[i].ID || got[i].Topic != orig[i].Topic ||
+			got[i].InputTokens != orig[i].InputTokens ||
+			got[i].OutputTokens != orig[i].OutputTokens ||
+			got[i].ArrivalMS != orig[i].ArrivalMS ||
+			got[i].Seed != orig[i].Seed {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		for j := range got[i].Embedding {
+			if got[i].Embedding[j] != orig[i].Embedding[j] {
+				t.Fatalf("request %d embedding mismatch", i)
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsCorruption(t *testing.T) {
+	d := LMSYSChat1M()
+	reqs := d.Sample(Options{Dim: 8, N: 3, Seed: 1})
+
+	write := func(mutate func(*traceFile)) string {
+		tf := traceFile{Version: 1, Dataset: d, Dim: 8}
+		for _, q := range reqs {
+			tf.Requests = append(tf.Requests, requestEntry{
+				ID: q.ID, Topic: q.Topic, Embedding: q.Embedding,
+				InputTokens: q.InputTokens, OutputTokens: q.OutputTokens, Seed: q.Seed,
+			})
+		}
+		mutate(&tf)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tf.Dataset, tf.Dim, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Re-encode manually to keep the mutation (WriteTrace rebuilds).
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(tf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	cases := map[string]string{
+		"bad version": write(func(tf *traceFile) { tf.Version = 9 }),
+		"bad dim":     write(func(tf *traceFile) { tf.Dim = 0 }),
+		"dup id":      write(func(tf *traceFile) { tf.Requests[1].ID = tf.Requests[0].ID }),
+		"zero tokens": write(func(tf *traceFile) { tf.Requests[0].InputTokens = 0 }),
+		"dim mismatch": write(func(tf *traceFile) {
+			tf.Requests[0].Embedding = tf.Requests[0].Embedding[:4]
+		}),
+		"arrival backwards": write(func(tf *traceFile) {
+			tf.Requests[0].ArrivalMS = 10
+			tf.Requests[1].ArrivalMS = 5
+		}),
+		"not json": "{",
+	}
+	for name, payload := range cases {
+		if _, _, err := ReadTrace(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestReadTraceReplayable(t *testing.T) {
+	// A round-tripped trace must simulate identically to the original.
+	d := ShareGPT()
+	orig := d.Sample(Options{Dim: 16, N: 2, Seed: 9})
+	for i := range orig {
+		orig[i].InputTokens, orig[i].OutputTokens = 4, 3
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, d, 16, orig); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].PromptSpec.Seed != orig[0].PromptSpec.Seed {
+		t.Fatal("prompt seeds differ; replay would diverge")
+	}
+}

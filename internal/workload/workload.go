@@ -1,0 +1,266 @@
+// Package workload generates the request workloads the paper evaluates on:
+// topic-clustered prompt populations standing in for LMSYS-Chat-1M and
+// ShareGPT, 70/30 store/test splits (§6.1), and Azure-style online inference
+// traces with Poisson arrivals at the paper's 2.91 requests/second (§6.3).
+//
+// Real prompt text is irrelevant to the offloading system — only the
+// semantic embedding, the token counts, and the arrival time matter — so a
+// workload is a population of latent topic vectors with realistic length
+// marginals.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+)
+
+// Request is one serving request: a simulatable prompt plus workload
+// metadata.
+type Request struct {
+	moe.PromptSpec
+	// Topic is the latent topic cluster the prompt was drawn from.
+	Topic int
+	// ArrivalMS is the request arrival time for online serving
+	// (0 for offline workloads).
+	ArrivalMS float64
+	// Dataset names the generating dataset.
+	Dataset string
+}
+
+// Dataset describes a prompt population.
+type Dataset struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// Topics is the number of latent topic clusters.
+	Topics int
+	// TopicZipf shapes topic popularity (0 = uniform; larger = more
+	// skewed toward popular conversation topics).
+	TopicZipf float64
+	// TopicSpread is the within-topic embedding noise: how far prompts
+	// of one topic scatter around the topic direction.
+	TopicSpread float64
+	// MeanInput and MeanOutput are the mean prompt/generation lengths in
+	// tokens. The paper's §6.2 measures LMSYS at 37/127 and ShareGPT at
+	// 43/122.
+	MeanInput, MeanOutput int
+	// LenSigma is the log-normal shape of sampled lengths when lengths
+	// are not fixed.
+	LenSigma float64
+	// Seed namespaces the dataset's topic directions and sampling.
+	Seed uint64
+}
+
+// LMSYSChat1M returns the synthetic stand-in for LMSYS-Chat-1M.
+func LMSYSChat1M() Dataset {
+	return Dataset{
+		Name:        "LMSYS-Chat-1M",
+		Topics:      24,
+		TopicZipf:   1.2,
+		TopicSpread: 0.05,
+		MeanInput:   37,
+		MeanOutput:  127,
+		LenSigma:    0.6,
+		Seed:        0x15f5,
+	}
+}
+
+// ShareGPT returns the synthetic stand-in for ShareGPT.
+func ShareGPT() Dataset {
+	return Dataset{
+		Name:        "ShareGPT",
+		Topics:      20,
+		TopicZipf:   1.2,
+		TopicSpread: 0.07,
+		MeanInput:   43,
+		MeanOutput:  122,
+		LenSigma:    0.6,
+		Seed:        0x5269,
+	}
+}
+
+// PaperDatasets returns the two datasets used throughout the evaluation.
+func PaperDatasets() []Dataset { return []Dataset{LMSYSChat1M(), ShareGPT()} }
+
+// topicSalt namespaces topic-direction derivation within a dataset's seed.
+const topicSalt uint64 = 0x701c
+
+// TopicDirection returns the unit embedding direction of a topic cluster in
+// the given semantic dimensionality. Deterministic per (dataset, topic).
+func (d Dataset) TopicDirection(dim, topic int) []float64 {
+	return rng.UnitVecFor(dim, d.Seed, topicSalt, uint64(topic))
+}
+
+// sampleTopic draws a topic index with Zipf-shaped popularity.
+func (d Dataset) sampleTopic(r *rng.RNG) int {
+	if d.TopicZipf <= 0 {
+		return r.Intn(d.Topics)
+	}
+	// Inverse-CDF sampling over unnormalized weights 1/(k+1)^z using a
+	// precomputable total would be nicer; with a few hundred topics a
+	// linear walk is fine and allocation-free.
+	z := d.TopicZipf
+	var total float64
+	for k := 0; k < d.Topics; k++ {
+		total += math.Pow(float64(k+1), -z)
+	}
+	u := r.Float64() * total
+	var cum float64
+	for k := 0; k < d.Topics; k++ {
+		cum += math.Pow(float64(k+1), -z)
+		if u <= cum {
+			return k
+		}
+	}
+	return d.Topics - 1
+}
+
+// sampleLen draws a log-normal length with the configured mean, clamped to
+// [minLen, maxLen].
+func sampleLen(r *rng.RNG, mean int, sigma float64, minLen, maxLen int) int {
+	if sigma <= 0 {
+		return mean
+	}
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	v := int(math.Round(r.LogNormal(mu, sigma)))
+	if v < minLen {
+		v = minLen
+	}
+	if v > maxLen {
+		v = maxLen
+	}
+	return v
+}
+
+// Options controls sampling.
+type Options struct {
+	// Dim is the semantic embedding dimensionality (the model's SemDim).
+	Dim int
+	// N is the number of requests.
+	N int
+	// Seed drives sampling; distinct seeds give disjoint populations.
+	Seed uint64
+	// FixedLengths pins every request to the dataset's mean input/output
+	// lengths, as the paper's offline evaluation does (§6.2).
+	FixedLengths bool
+	// IDBase offsets request IDs so multiple samples can coexist.
+	IDBase uint64
+}
+
+// Sample draws n requests from the dataset population.
+func (d Dataset) Sample(opt Options) []Request {
+	if opt.Dim <= 0 || opt.N < 0 {
+		panic(fmt.Sprintf("workload: invalid options %+v", opt))
+	}
+	r := rng.New(rng.Mix(d.Seed, opt.Seed, 0xD47A))
+	out := make([]Request, opt.N)
+	noise := make([]float64, opt.Dim)
+	for i := range out {
+		topic := d.sampleTopic(r)
+		emb := tensor.Copy(d.TopicDirection(opt.Dim, topic))
+		r.UnitVec(noise)
+		tensor.Axpy(d.TopicSpread, noise, emb)
+		tensor.Normalize(emb)
+
+		in, outLen := d.MeanInput, d.MeanOutput
+		if !opt.FixedLengths {
+			in = sampleLen(r, d.MeanInput, d.LenSigma, 4, 2048)
+			outLen = sampleLen(r, d.MeanOutput, d.LenSigma, 2, 1024)
+		}
+		id := opt.IDBase + uint64(i)
+		out[i] = Request{
+			PromptSpec: moe.PromptSpec{
+				ID:           id,
+				Embedding:    emb,
+				InputTokens:  in,
+				OutputTokens: outLen,
+				Seed:         rng.Mix(d.Seed, opt.Seed, 0x9E4D, id),
+			},
+			Topic:   topic,
+			Dataset: d.Name,
+		}
+	}
+	return out
+}
+
+// Split partitions requests into a store-building set and a test set using
+// the paper's standard ratio (§6.1: 70% of prompts populate the Expert Map
+// Store, 30% are served).
+func Split(reqs []Request, storeFrac float64) (store, test []Request) {
+	if storeFrac < 0 || storeFrac > 1 {
+		panic("workload: storeFrac out of [0,1]")
+	}
+	cut := int(math.Round(float64(len(reqs)) * storeFrac))
+	return reqs[:cut], reqs[cut:]
+}
+
+// TraceConfig parameterizes an Azure-style online trace (§6.3).
+type TraceConfig struct {
+	// RatePerSec is the mean request arrival rate (paper: 2.91).
+	RatePerSec float64
+	// N is the number of requests (paper: 256).
+	N int
+	// Seed drives arrival sampling.
+	Seed uint64
+}
+
+// AzureTrace samples an online trace: dataset prompts with exponential
+// inter-arrival gaps (Poisson process) and trace-specified token lengths.
+func AzureTrace(d Dataset, dim int, tc TraceConfig) []Request {
+	if tc.RatePerSec <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	reqs := d.Sample(Options{Dim: dim, N: tc.N, Seed: tc.Seed, IDBase: 1 << 32})
+	r := rng.New(rng.Mix(d.Seed, tc.Seed, 0xA22E))
+	var t float64
+	for i := range reqs {
+		t += r.Exp(tc.RatePerSec) * 1000 // ms
+		reqs[i].ArrivalMS = t
+	}
+	return reqs
+}
+
+// Stats summarizes a request population.
+type Stats struct {
+	N                    int
+	MeanInput, MeanOut   float64
+	Topics               int
+	DurationMS, RateRPS  float64
+	MinInput, MaxInput   int
+	MinOutput, MaxOutput int
+}
+
+// Summarize computes population statistics, useful for trace inspection and
+// for validating generated workloads against the paper's parameters.
+func Summarize(reqs []Request) Stats {
+	s := Stats{N: len(reqs), MinInput: math.MaxInt, MinOutput: math.MaxInt}
+	if len(reqs) == 0 {
+		s.MinInput, s.MinOutput = 0, 0
+		return s
+	}
+	topics := map[int]bool{}
+	var lastArrival float64
+	for _, q := range reqs {
+		s.MeanInput += float64(q.InputTokens)
+		s.MeanOut += float64(q.OutputTokens)
+		topics[q.Topic] = true
+		if q.ArrivalMS > lastArrival {
+			lastArrival = q.ArrivalMS
+		}
+		s.MinInput = min(s.MinInput, q.InputTokens)
+		s.MaxInput = max(s.MaxInput, q.InputTokens)
+		s.MinOutput = min(s.MinOutput, q.OutputTokens)
+		s.MaxOutput = max(s.MaxOutput, q.OutputTokens)
+	}
+	s.MeanInput /= float64(len(reqs))
+	s.MeanOut /= float64(len(reqs))
+	s.Topics = len(topics)
+	s.DurationMS = lastArrival
+	if lastArrival > 0 {
+		s.RateRPS = float64(len(reqs)) / (lastArrival / 1000)
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/tensor"
+)
+
+func TestSampleDeterminism(t *testing.T) {
+	d := LMSYSChat1M()
+	a := d.Sample(Options{Dim: 16, N: 20, Seed: 1})
+	b := d.Sample(Options{Dim: 16, N: 20, Seed: 1})
+	for i := range a {
+		if a[i].Topic != b[i].Topic || a[i].InputTokens != b[i].InputTokens {
+			t.Fatalf("sampling not deterministic at %d", i)
+		}
+		for j := range a[i].Embedding {
+			if a[i].Embedding[j] != b[i].Embedding[j] {
+				t.Fatalf("embedding not deterministic at %d", i)
+			}
+		}
+	}
+	c := d.Sample(Options{Dim: 16, N: 20, Seed: 2})
+	if c[0].Topic == a[0].Topic && c[0].InputTokens == a[0].InputTokens && c[0].Embedding[0] == a[0].Embedding[0] {
+		t.Fatal("different seeds produced identical first request")
+	}
+}
+
+func TestEmbeddingsUnitNorm(t *testing.T) {
+	d := ShareGPT()
+	for _, q := range d.Sample(Options{Dim: 32, N: 50, Seed: 3}) {
+		if math.Abs(tensor.Norm(q.Embedding)-1) > 1e-9 {
+			t.Fatalf("embedding not unit norm: %v", tensor.Norm(q.Embedding))
+		}
+	}
+}
+
+func TestFixedLengths(t *testing.T) {
+	d := LMSYSChat1M()
+	for _, q := range d.Sample(Options{Dim: 16, N: 30, Seed: 4, FixedLengths: true}) {
+		if q.InputTokens != 37 || q.OutputTokens != 127 {
+			t.Fatalf("fixed lengths violated: %d/%d", q.InputTokens, q.OutputTokens)
+		}
+	}
+}
+
+// TestLengthMeans verifies sampled lengths track the paper's dataset means
+// (37/127 LMSYS, 43/122 ShareGPT) within sampling tolerance.
+func TestLengthMeans(t *testing.T) {
+	for _, d := range PaperDatasets() {
+		s := Summarize(d.Sample(Options{Dim: 16, N: 4000, Seed: 5}))
+		if math.Abs(s.MeanInput-float64(d.MeanInput))/float64(d.MeanInput) > 0.15 {
+			t.Errorf("%s: mean input %.1f vs %d", d.Name, s.MeanInput, d.MeanInput)
+		}
+		if math.Abs(s.MeanOut-float64(d.MeanOutput))/float64(d.MeanOutput) > 0.15 {
+			t.Errorf("%s: mean output %.1f vs %d", d.Name, s.MeanOut, d.MeanOutput)
+		}
+		if s.MinInput < 4 || s.MinOutput < 2 {
+			t.Errorf("%s: lengths below clamp: %+v", d.Name, s)
+		}
+	}
+}
+
+// TestTopicClustering: same-topic prompts must be much closer in cosine than
+// cross-topic prompts — the property semantic search relies on.
+func TestTopicClustering(t *testing.T) {
+	d := LMSYSChat1M()
+	reqs := d.Sample(Options{Dim: 64, N: 400, Seed: 6})
+	byTopic := map[int][]Request{}
+	for _, q := range reqs {
+		byTopic[q.Topic] = append(byTopic[q.Topic], q)
+	}
+	var within, cross []float64
+	for _, qs := range byTopic {
+		if len(qs) >= 2 {
+			within = append(within, tensor.Cosine(qs[0].Embedding, qs[1].Embedding))
+		}
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Topic != reqs[0].Topic {
+			cross = append(cross, tensor.Cosine(reqs[0].Embedding, reqs[i].Embedding))
+			if len(cross) > 50 {
+				break
+			}
+		}
+	}
+	if len(within) < 5 {
+		t.Fatal("not enough same-topic pairs; check Zipf sampling")
+	}
+	if tensor.Mean(within) < tensor.Mean(cross)+0.5 {
+		t.Fatalf("topic clustering weak: within %.3f, cross %.3f", tensor.Mean(within), tensor.Mean(cross))
+	}
+}
+
+// TestZipfPopularity: topic popularity should be skewed — the most popular
+// topic must appear clearly more often than the median one.
+func TestZipfPopularity(t *testing.T) {
+	d := LMSYSChat1M()
+	counts := map[int]int{}
+	for _, q := range d.Sample(Options{Dim: 8, N: 3000, Seed: 7}) {
+		counts[q.Topic]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := 3000 / d.Topics
+	if maxC < 3*mean {
+		t.Fatalf("topic popularity not skewed: max %d vs uniform mean %d", maxC, mean)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := LMSYSChat1M()
+	reqs := d.Sample(Options{Dim: 8, N: 100, Seed: 8})
+	store, test := Split(reqs, 0.7)
+	if len(store) != 70 || len(test) != 30 {
+		t.Fatalf("split sizes %d/%d", len(store), len(test))
+	}
+	store, test = Split(reqs, 0)
+	if len(store) != 0 || len(test) != 100 {
+		t.Fatal("zero split wrong")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(nil, 1.5)
+}
+
+// TestAzureTraceRate verifies the Poisson arrival process delivers the
+// configured 2.91 req/s within tolerance (paper §6.3).
+func TestAzureTraceRate(t *testing.T) {
+	d := LMSYSChat1M()
+	trace := AzureTrace(d, 16, TraceConfig{RatePerSec: 2.91, N: 2000, Seed: 9})
+	s := Summarize(trace)
+	if math.Abs(s.RateRPS-2.91)/2.91 > 0.1 {
+		t.Fatalf("trace rate %.2f rps, want ~2.91", s.RateRPS)
+	}
+	// Arrivals must be strictly increasing.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].ArrivalMS <= trace[i-1].ArrivalMS {
+			t.Fatalf("arrivals not increasing at %d", i)
+		}
+	}
+}
+
+func TestAzureTracePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AzureTrace(LMSYSChat1M(), 8, TraceConfig{RatePerSec: 0, N: 1})
+}
+
+func TestRequestsFeedModel(t *testing.T) {
+	cfg := moe.Tiny()
+	m := moe.NewModel(cfg, 1)
+	d := LMSYSChat1M()
+	for _, q := range d.Sample(Options{Dim: cfg.SemDim, N: 3, Seed: 10}) {
+		iters := m.Trace(q.PromptSpec)
+		if len(iters) != q.OutputTokens {
+			t.Fatalf("trace length %d != output tokens %d", len(iters), q.OutputTokens)
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	d := LMSYSChat1M()
+	reqs := d.Sample(Options{Dim: 8, N: 200, Seed: 11})
+	more := d.Sample(Options{Dim: 8, N: 200, Seed: 11, IDBase: 200})
+	seen := map[uint64]bool{}
+	for _, q := range append(reqs, more...) {
+		if seen[q.ID] {
+			t.Fatalf("duplicate request ID %d", q.ID)
+		}
+		seen[q.ID] = true
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.RateRPS != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSampleLenProperty(t *testing.T) {
+	// Property: sampled counts always within clamps and positive.
+	d := LMSYSChat1M()
+	f := func(seed uint64) bool {
+		reqs := d.Sample(Options{Dim: 4, N: 5, Seed: seed})
+		for _, q := range reqs {
+			if q.InputTokens < 4 || q.InputTokens > 2048 || q.OutputTokens < 2 || q.OutputTokens > 1024 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
