@@ -10,8 +10,11 @@
 //	finemoe-bench -exp fig18 -csv
 //
 // Experiment IDs match DESIGN.md §3 (tab1, fig1b, fig3a–fig4, fig8–fig18,
-// abl-sync, abl-ep, abl-dedup). The "full" scale uses the paper's workload
-// parameters; "small" is a fast smoke configuration.
+// abl-sync, abl-ep, abl-dedup), plus extensions beyond the paper such as
+// clusterfig — the cluster router comparison (round-robin vs least-loaded
+// vs semantic affinity on a 4-instance fleet under an Azure-trace load
+// sweep). The "full" scale uses the paper's workload parameters; "small"
+// is a fast smoke configuration.
 package main
 
 import (

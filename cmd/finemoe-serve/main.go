@@ -1,20 +1,26 @@
 // Command finemoe-serve exposes the FineMoE serving simulator as an HTTP
-// service, demonstrating the system's online behaviour: the Expert Map
-// Store starts empty and warms up as requests flow, improving hit rates and
-// latency over time.
+// service over a cluster of serving instances. Each request flows through
+// the admission → routing → instance pipeline; every instance's Expert Map
+// Store starts empty and warms up as requests flow, improving hit rates
+// and latency over time.
 //
 // Endpoints:
 //
 //	POST /v1/generate  {"prompt_topic": 3, "input_tokens": 37, "output_tokens": 32}
-//	  -> per-request metrics (simulated TTFT/TPOT/E2E, expert hits/misses)
+//	  -> per-request metrics (simulated TTFT/TPOT/E2E, expert hits/misses,
+//	     serving instance); 429 when the admission policy sheds the request
 //	GET  /v1/stats
-//	  -> cumulative serving statistics and store state
+//	  -> fleet-wide and per-instance serving statistics: queue depth,
+//	     admission rejections, hit rates, store state
 //	GET  /v1/config
-//	  -> model, testbed and policy configuration
+//	  -> model, testbed, fleet and policy configuration
+//	GET  /healthz
+//	  -> liveness
 //
 // Usage:
 //
-//	finemoe-serve -model mixtral -addr :8080 -gpus 6 -cache-gb 27
+//	finemoe-serve -model mixtral -addr :8080 -gpus 6 -cache-gb 27 \
+//	  -instances 4 -admission token-bucket -admit-rate 8 -router semantic
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"finemoe/internal/cluster"
 	"finemoe/internal/httpserve"
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
@@ -44,17 +51,56 @@ func modelByName(name string) (moe.Config, error) {
 	return moe.Config{}, fmt.Errorf("unknown model %q (mixtral|qwen|phi|tiny)", name)
 }
 
+func admissionByName(name string, burst, rate float64) (cluster.Admission, error) {
+	switch strings.ToLower(name) {
+	case "always", "always-admit":
+		return cluster.NewAlwaysAdmit(), nil
+	case "token-bucket":
+		return cluster.NewTokenBucket(burst, rate), nil
+	case "reject-all":
+		return cluster.NewRejectAll(), nil
+	}
+	return nil, fmt.Errorf("unknown admission %q (always|token-bucket|reject-all)", name)
+}
+
+func routerByName(name string) (cluster.Router, error) {
+	switch strings.ToLower(name) {
+	case "round-robin":
+		return cluster.NewRoundRobin(), nil
+	case "least-loaded":
+		return cluster.NewLeastLoaded(), nil
+	case "semantic", "semantic-affinity":
+		return cluster.NewSemanticAffinity(cluster.SemanticAffinityOptions{}), nil
+	}
+	return nil, fmt.Errorf("unknown router %q (round-robin|least-loaded|semantic)", name)
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		modelArg = flag.String("model", "mixtral", "model: mixtral|qwen|phi|tiny")
-		gpus     = flag.Int("gpus", 6, "expert-parallel GPU count")
-		cacheGB  = flag.Float64("cache-gb", 0, "expert cache budget in GiB (0 = 30% of expert weights)")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelArg   = flag.String("model", "mixtral", "model: mixtral|qwen|phi|tiny")
+		gpus       = flag.Int("gpus", 6, "expert-parallel GPU count per instance")
+		cacheGB    = flag.Float64("cache-gb", 0, "expert cache budget per instance in GiB (0 = 30% of expert weights)")
+		seed       = flag.Uint64("seed", 42, "simulation seed")
+		instances  = flag.Int("instances", 1, "number of serving instances")
+		admitArg   = flag.String("admission", "always", "admission policy: always|token-bucket|reject-all")
+		admitBurst = flag.Float64("admit-burst", 32, "token-bucket capacity (with -admission token-bucket)")
+		admitRate  = flag.Float64("admit-rate", 8, "token-bucket refill per second (with -admission token-bucket)")
+		routerArg  = flag.String("router", "least-loaded", "router policy: round-robin|least-loaded|semantic")
 	)
 	flag.Parse()
 
 	cfg, err := modelByName(*modelArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	adm, err := admissionByName(*admitArg, *admitBurst, *admitRate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rt, err := routerByName(*routerArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -67,9 +113,13 @@ func main() {
 		Model: cfg, Seed: *seed,
 		GPU: memsim.RTX3090(), NumGPUs: *gpus,
 		CacheBytes: cacheBytes,
+		Instances:  *instances,
+		Admission:  adm,
+		Router:     rt,
 	})
 
-	log.Printf("finemoe-serve: %s on %d GPU(s), listening on %s", cfg.Name, *gpus, *addr)
+	log.Printf("finemoe-serve: %s, %d instance(s) × %d GPU(s), admission=%s router=%s, listening on %s",
+		cfg.Name, *instances, *gpus, adm.Name(), rt.Name(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

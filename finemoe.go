@@ -14,7 +14,14 @@
 //   - the four baselines the paper compares against (DeepSpeed-Inference,
 //     Mixtral-Offloading, ProMoE, MoE-Infinity) plus No-Offload;
 //   - a virtual-time serving engine over a simulated multi-GPU cluster with
-//     offline and online (trace-driven) runners;
+//     offline and online (trace-driven) runners, plus a steppable
+//     event-driven surface (Submit / NextEventTime / Step / Drain) for
+//     external orchestration;
+//   - a cluster serving layer composing N engines behind an admission →
+//     routing → instance pipeline: pluggable admission (always-admit,
+//     token-bucket, reject-all) and routing (round-robin, least-loaded,
+//     FineMoE-aware semantic-affinity) policies under one shared virtual
+//     clock, with fleet-wide metric aggregation;
 //   - workload generators standing in for LMSYS-Chat-1M, ShareGPT and the
 //     Azure inference traces;
 //   - the experiment harness reproducing every table and figure of the
@@ -36,10 +43,28 @@
 //	res := eng.RunOffline(testReqs, nil)
 //	fmt.Printf("TTFT %.0f ms, TPOT %.0f ms, hit rate %.3f\n",
 //		res.MeanTTFT, res.MeanTPOT, res.HitRate)
+//
+// Cluster serving (see examples/cluster for the full walkthrough):
+//
+//	engines := make([]*finemoe.Engine, 4)
+//	for i := range engines {
+//		pol := finemoe.NewFineMoE(finemoe.NewStore(cfg, 1000, 0), finemoe.FineMoEOptions{})
+//		engines[i] = finemoe.NewEngine(finemoe.EngineOptions{
+//			Model: model, GPU: finemoe.RTX3090(), NumGPUs: 6, Policy: pol,
+//		})
+//	}
+//	cl := finemoe.NewCluster(finemoe.ClusterOptions{
+//		Engines:   engines,
+//		Admission: finemoe.NewTokenBucket(32, 8),
+//		Router:    finemoe.NewSemanticAffinity(finemoe.SemanticAffinityOptions{}),
+//	})
+//	cres := cl.RunTrace(finemoe.AzureTrace(ds, cfg.SemDim, finemoe.TraceConfig{RatePerSec: 2.91, N: 256, Seed: 1}))
+//	fmt.Println(cres)
 package finemoe
 
 import (
 	"finemoe/internal/baselines"
+	"finemoe/internal/cluster"
 	"finemoe/internal/core"
 	"finemoe/internal/experiments"
 	"finemoe/internal/memsim"
@@ -212,7 +237,66 @@ type Result = serve.Result
 type RequestMetrics = serve.RequestMetrics
 
 // NewEngine builds an engine; construct a fresh engine (and policy) per run.
+// Beyond RunOffline/RunOnline, the engine exposes the steppable surface
+// (Submit, NextEventTime, Step, Drain, Finalize) that Cluster orchestrates.
 func NewEngine(opts EngineOptions) *Engine { return serve.New(opts) }
+
+// --- Cluster serving --------------------------------------------------------
+
+// Cluster orchestrates N serving engines behind the admission → routing →
+// instance → aggregation pipeline under one shared virtual clock.
+type Cluster = cluster.Cluster
+
+// ClusterOptions assembles a cluster: per-instance engines plus admission
+// and routing policies.
+type ClusterOptions = cluster.Options
+
+// ClusterResult aggregates a cluster run: per-instance results, admission
+// accounting, and fleet-wide latency/hit-rate summaries.
+type ClusterResult = cluster.Result
+
+// InstanceResult is one replica's aggregated run within a ClusterResult.
+type InstanceResult = cluster.InstanceResult
+
+// InstanceState is the admission/routing-visible load view of an instance.
+type InstanceState = cluster.InstanceState
+
+// Admission gates arrivals into the fleet.
+type Admission = cluster.Admission
+
+// Router places admitted requests onto instances.
+type Router = cluster.Router
+
+// SemanticAffinityOptions tunes the FineMoE-aware affinity router.
+type SemanticAffinityOptions = cluster.SemanticAffinityOptions
+
+// NewCluster builds a cluster over freshly constructed engines.
+func NewCluster(opts ClusterOptions) *Cluster { return cluster.New(opts) }
+
+// NewAlwaysAdmit returns the accept-everything admission policy.
+func NewAlwaysAdmit() Admission { return cluster.NewAlwaysAdmit() }
+
+// NewRejectAll returns the shed-everything admission policy.
+func NewRejectAll() Admission { return cluster.NewRejectAll() }
+
+// NewTokenBucket returns a token-bucket admission policy: capacity tokens,
+// refilled at refillPerSec, one token per admitted request.
+func NewTokenBucket(capacity, refillPerSec float64) Admission {
+	return cluster.NewTokenBucket(capacity, refillPerSec)
+}
+
+// NewRoundRobin returns the round-robin router.
+func NewRoundRobin() Router { return cluster.NewRoundRobin() }
+
+// NewLeastLoaded returns the join-shortest-queue router.
+func NewLeastLoaded() Router { return cluster.NewLeastLoaded() }
+
+// NewSemanticAffinity returns the FineMoE-aware router: semantically
+// similar prompts are routed to the instance whose Expert Map Store has
+// already seen them, raising the fleet's expert hit rate.
+func NewSemanticAffinity(opts SemanticAffinityOptions) Router {
+	return cluster.NewSemanticAffinity(opts)
+}
 
 // --- Experiment harness ------------------------------------------------------------
 

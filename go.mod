@@ -1,0 +1,3 @@
+module finemoe
+
+go 1.24

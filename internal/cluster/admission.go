@@ -1,0 +1,76 @@
+package cluster
+
+import "finemoe/internal/workload"
+
+// Admission is the first stage of the serving pipeline: it decides at
+// arrival time whether a request enters the fleet at all. Implementations
+// may keep state (rate limiters); they are driven sequentially by the
+// cluster's shared-clock loop and need no locking.
+type Admission interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Admit decides one arrival. nowMS is the cluster clock (the arrival
+	// time) and fleet the current per-instance load view.
+	Admit(req workload.Request, nowMS float64, fleet []InstanceState) bool
+}
+
+// alwaysAdmit accepts every request (the default).
+type alwaysAdmit struct{}
+
+// NewAlwaysAdmit returns the accept-everything admission policy.
+func NewAlwaysAdmit() Admission { return alwaysAdmit{} }
+
+func (alwaysAdmit) Name() string { return "always-admit" }
+
+func (alwaysAdmit) Admit(workload.Request, float64, []InstanceState) bool { return true }
+
+// rejectAll sheds every request — the pathological bound, useful for
+// testing rejection accounting and fail-closed behaviour.
+type rejectAll struct{}
+
+// NewRejectAll returns the reject-everything admission policy.
+func NewRejectAll() Admission { return rejectAll{} }
+
+func (rejectAll) Name() string { return "reject-all" }
+
+func (rejectAll) Admit(workload.Request, float64, []InstanceState) bool { return false }
+
+// tokenBucket rate-limits admissions: a bucket of capacity tokens refills
+// at refillPerSec; each admitted request spends one token, and arrivals
+// finding an empty bucket are shed.
+type tokenBucket struct {
+	capacity     float64
+	refillPerSec float64
+	tokens       float64
+	lastMS       float64
+}
+
+// NewTokenBucket returns a token-bucket admission policy. The bucket
+// starts full; capacity < 1 is raised to 1 so at least one request can
+// ever pass.
+func NewTokenBucket(capacity, refillPerSec float64) Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if refillPerSec < 0 {
+		refillPerSec = 0
+	}
+	return &tokenBucket{capacity: capacity, refillPerSec: refillPerSec, tokens: capacity}
+}
+
+func (b *tokenBucket) Name() string { return "token-bucket" }
+
+func (b *tokenBucket) Admit(_ workload.Request, nowMS float64, _ []InstanceState) bool {
+	if nowMS > b.lastMS {
+		b.tokens += (nowMS - b.lastMS) / 1000 * b.refillPerSec
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.lastMS = nowMS
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+// Package cluster orchestrates N independent serving engines behind the
+// admission → routing → instance → aggregation pipeline of a production
+// fleet, under one shared virtual clock.
+//
+// Each arrival first passes the Admission policy (always-admit,
+// token-bucket, reject-all); admitted requests are placed by the Router
+// policy (round-robin, least-loaded, semantic-affinity) onto one of the
+// per-instance serve.Engines, which execute independently via the engine's
+// steppable surface. The shared-clock event loop interleaves cluster-level
+// arrival events with per-instance iteration events: events are processed
+// in virtual-time order, cluster events win ties against instance events,
+// and simultaneous instance events resolve toward the lowest instance
+// index — so a run is fully deterministic for a fixed trace and seed.
+package cluster
+
+import (
+	"math"
+
+	"finemoe/internal/serve"
+	"finemoe/internal/workload"
+)
+
+// Instance is one serving replica: an engine plus fleet bookkeeping.
+type Instance struct {
+	// ID is the instance index within the fleet.
+	ID int
+	// Engine is the replica's serving engine (its own policy and cache).
+	Engine *serve.Engine
+	// Submitted counts requests routed to this instance.
+	Submitted int
+}
+
+// State snapshots the instance's load view for admission and routing.
+func (in *Instance) State() InstanceState {
+	return InstanceState{
+		ID:         in.ID,
+		QueueDepth: in.Engine.QueueDepth(),
+		InFlight:   in.Engine.InFlight(),
+		Completed:  in.Engine.CompletedCount(),
+		Submitted:  in.Submitted,
+		NowMS:      in.Engine.Now(),
+	}
+}
+
+// InstanceState is the admission/routing-visible view of one instance.
+type InstanceState struct {
+	ID         int
+	QueueDepth int
+	InFlight   int
+	Completed  int
+	Submitted  int
+	NowMS      float64
+}
+
+// Options assembles a cluster.
+type Options struct {
+	// Engines are the per-instance serving engines, one per replica. Each
+	// must be freshly constructed (engines are single-run).
+	Engines []*serve.Engine
+	// Admission gates arrivals (nil = always-admit).
+	Admission Admission
+	// Router places admitted requests (nil = round-robin).
+	Router Router
+}
+
+// Cluster is a fleet of serving instances sharing one virtual clock.
+type Cluster struct {
+	instances []*Instance
+	admission Admission
+	router    Router
+
+	now      float64
+	admitted int
+	rejected int
+}
+
+// New builds a cluster over the given engines.
+func New(opts Options) *Cluster {
+	if len(opts.Engines) == 0 {
+		panic("cluster: no engines")
+	}
+	if opts.Admission == nil {
+		opts.Admission = NewAlwaysAdmit()
+	}
+	if opts.Router == nil {
+		opts.Router = NewRoundRobin()
+	}
+	c := &Cluster{admission: opts.Admission, router: opts.Router}
+	for i, e := range opts.Engines {
+		if e == nil {
+			panic("cluster: nil engine")
+		}
+		c.instances = append(c.instances, &Instance{ID: i, Engine: e})
+	}
+	return c
+}
+
+// Size returns the number of instances.
+func (c *Cluster) Size() int { return len(c.instances) }
+
+// Instances returns the fleet (shared; callers must not mutate).
+func (c *Cluster) Instances() []*Instance { return c.instances }
+
+// Now returns the cluster clock: the latest cluster-level event time.
+func (c *Cluster) Now() float64 { return c.now }
+
+// Rejected counts requests shed by admission so far.
+func (c *Cluster) Rejected() int { return c.rejected }
+
+// Admitted counts requests accepted so far.
+func (c *Cluster) Admitted() int { return c.admitted }
+
+// States snapshots every instance's load view, in instance order.
+func (c *Cluster) States() []InstanceState {
+	out := make([]InstanceState, len(c.instances))
+	for i, in := range c.instances {
+		out[i] = in.State()
+	}
+	return out
+}
+
+// Offer runs one request through admission and routing at the request's
+// arrival time (clamped forward to the cluster clock) and submits it to
+// the chosen instance. Returns the instance index, or -1 when admission
+// sheds the request.
+func (c *Cluster) Offer(req workload.Request) int {
+	if t := req.ArrivalMS; t > c.now {
+		c.now = t
+	}
+	fleet := c.States()
+	if !c.admission.Admit(req, c.now, fleet) {
+		c.rejected++
+		return -1
+	}
+	c.admitted++
+	i := c.router.Route(req, c.now, fleet)
+	if i < 0 || i >= len(c.instances) {
+		panic("cluster: router returned out-of-range instance")
+	}
+	in := c.instances[i]
+	in.Submitted++
+	in.Engine.Submit(req)
+	return i
+}
+
+// nextInstanceEvent returns the earliest per-instance event time and its
+// instance index (lowest index wins ties); +Inf when all are drained.
+func (c *Cluster) nextInstanceEvent() (float64, int) {
+	t, which := math.Inf(1), -1
+	for i, in := range c.instances {
+		if et := in.Engine.NextEventTime(); et < t {
+			t, which = et, i
+		}
+	}
+	return t, which
+}
+
+// Step processes the cluster's earliest pending instance event at or
+// before until; reports whether any work was done.
+func (c *Cluster) Step(until float64) bool {
+	t, which := c.nextInstanceEvent()
+	if which < 0 || t > until {
+		return false
+	}
+	return c.instances[which].Engine.Step(until)
+}
+
+// Drain runs every submitted request on every instance to completion,
+// interleaving instances in shared-clock order, and returns the fleet
+// makespan.
+func (c *Cluster) Drain() float64 {
+	for c.Step(math.Inf(1)) {
+	}
+	wall := 0.0
+	for _, in := range c.instances {
+		if t := in.Engine.Now(); t > wall {
+			wall = t
+		}
+	}
+	return wall
+}
+
+// RunTrace replays an arrival trace (sorted by ArrivalMS) through the
+// pipeline: the shared-clock loop merges arrival events with instance
+// iteration events, processing whichever is earlier and giving cluster
+// events priority on ties, then drains the fleet and aggregates.
+func (c *Cluster) RunTrace(trace []workload.Request) *Result {
+	next := 0
+	for {
+		tArr := math.Inf(1)
+		if next < len(trace) {
+			tArr = trace[next].ArrivalMS
+		}
+		tInst, which := c.nextInstanceEvent()
+		if math.IsInf(tArr, 1) && which < 0 {
+			break
+		}
+		if tArr <= tInst {
+			// Cluster-first priority: arrivals at T precede instance
+			// events at T, so routing sees fleet state as of T.
+			c.Offer(trace[next])
+			next++
+			continue
+		}
+		c.instances[which].Engine.Step(tInst)
+	}
+	return c.Finalize()
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"finemoe/internal/metrics"
+	"finemoe/internal/serve"
+)
+
+// InstanceResult is one replica's aggregated run.
+type InstanceResult struct {
+	// ID is the instance index.
+	ID int
+	// Submitted counts requests routed to the instance.
+	Submitted int
+	// Result is the instance engine's own aggregation.
+	Result *serve.Result
+}
+
+// Result aggregates a cluster run: per-instance engine results plus
+// fleet-wide admission accounting and latency/hit-rate summaries over
+// every served request.
+type Result struct {
+	// Admission and Router name the pipeline policies.
+	Admission, Router string
+	// Instances holds each replica's result, in instance order.
+	Instances []InstanceResult
+	// Admitted and Rejected count the admission stage's decisions.
+	Admitted, Rejected int
+	// Served counts requests that completed across the fleet.
+	Served int
+	// MeanTTFT and MeanTPOT are the fleet-wide headline latencies (ms).
+	MeanTTFT, MeanTPOT float64
+	// TTFT, TPOT and E2E are fleet-wide order statistics (ms).
+	TTFT, TPOT, E2E metrics.Summary
+	// HitRate is total expert-cache hits over activations fleet-wide.
+	HitRate float64
+	// WallClockMS is the fleet makespan: the latest instance clock.
+	WallClockMS float64
+}
+
+// Finalize aggregates everything served so far into a cluster Result
+// without submitting further work. Instances must be drained first (Drain
+// or RunTrace do this).
+func (c *Cluster) Finalize() *Result {
+	res := &Result{
+		Admission: c.admission.Name(),
+		Router:    c.router.Name(),
+		Admitted:  c.admitted,
+		Rejected:  c.rejected,
+	}
+	var ttfts, tpots, e2es []float64
+	var hits, misses int
+	for _, in := range c.instances {
+		ir := in.Engine.Finalize()
+		res.Instances = append(res.Instances, InstanceResult{
+			ID: in.ID, Submitted: in.Submitted, Result: ir,
+		})
+		res.Served += len(ir.Requests)
+		for _, q := range ir.Requests {
+			ttfts = append(ttfts, q.TTFTms)
+			e2es = append(e2es, q.E2Ems)
+			if q.OutputTokens > 1 {
+				tpots = append(tpots, q.TPOTms)
+			}
+			hits += q.Hits
+			misses += q.Misses
+		}
+		if ir.WallClockMS > res.WallClockMS {
+			res.WallClockMS = ir.WallClockMS
+		}
+	}
+	res.TTFT = metrics.Summarize(ttfts)
+	res.TPOT = metrics.Summarize(tpots)
+	res.E2E = metrics.Summarize(e2es)
+	res.MeanTTFT = res.TTFT.Mean
+	res.MeanTPOT = res.TPOT.Mean
+	if hits+misses > 0 {
+		res.HitRate = float64(hits) / float64(hits+misses)
+	} else {
+		res.HitRate = 1
+	}
+	return res
+}
+
+// String renders a one-line fleet summary.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"cluster[%d] %s/%s: served %d, rejected %d, TTFT %.0f ms, TPOT %.1f ms, hit rate %.3f",
+		len(r.Instances), r.Admission, r.Router, r.Served, r.Rejected,
+		r.MeanTTFT, r.MeanTPOT, r.HitRate)
+}

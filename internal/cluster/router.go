@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"finemoe/internal/tensor"
+	"finemoe/internal/workload"
+)
+
+// Router is the second stage of the serving pipeline: it picks the target
+// instance for an admitted request. Implementations may keep state
+// (round-robin cursors, affinity memories); they are driven sequentially
+// by the cluster's shared-clock loop and need no locking.
+type Router interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Route returns the target instance index in [0, len(fleet)).
+	Route(req workload.Request, nowMS float64, fleet []InstanceState) int
+}
+
+// roundRobin cycles through instances in order.
+type roundRobin struct{ next int }
+
+// NewRoundRobin returns the round-robin router.
+func NewRoundRobin() Router { return &roundRobin{} }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Route(_ workload.Request, _ float64, fleet []InstanceState) int {
+	i := r.next % len(fleet)
+	r.next = (r.next + 1) % len(fleet)
+	return i
+}
+
+// load is the routing load signal: queued plus in-flight requests.
+func (s InstanceState) load() int { return s.QueueDepth + s.InFlight }
+
+// leastLoaded joins the shortest queue (queued + in-flight requests).
+// Ties break toward the instance that has been routed the least total
+// work, then toward the lowest index, so the policy stays deterministic
+// and spreads load even when every queue is momentarily empty.
+type leastLoaded struct{}
+
+// NewLeastLoaded returns the join-shortest-queue router.
+func NewLeastLoaded() Router { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Route(_ workload.Request, _ float64, fleet []InstanceState) int {
+	best := 0
+	for i := 1; i < len(fleet); i++ {
+		if fleet[i].load() < fleet[best].load() ||
+			(fleet[i].load() == fleet[best].load() && fleet[i].Submitted < fleet[best].Submitted) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SemanticAffinityOptions tunes the FineMoE-aware router.
+type SemanticAffinityOptions struct {
+	// MinSim is the cosine similarity below which a prompt is considered
+	// unseen by every instance and falls back to least-loaded placement
+	// (default 0.6; paper-style topic clusters separate cleanly at this
+	// threshold).
+	MinSim float64
+	// MergeSim is the similarity above which a routed prompt updates an
+	// existing centroid instead of adding a new one (default 0.9).
+	MergeSim float64
+	// MaxCentroids bounds each instance's affinity memory (default 32;
+	// oldest centroid evicted beyond it).
+	MaxCentroids int
+	// LoadSlack is how much longer than the shortest queue an affine
+	// instance's queue may be before load balancing overrides affinity
+	// (default 6 requests).
+	LoadSlack int
+}
+
+func (o SemanticAffinityOptions) withDefaults() SemanticAffinityOptions {
+	if o.MinSim == 0 {
+		o.MinSim = 0.6
+	}
+	if o.MergeSim == 0 {
+		o.MergeSim = 0.9
+	}
+	if o.MaxCentroids <= 0 {
+		o.MaxCentroids = 32
+	}
+	if o.LoadSlack <= 0 {
+		o.LoadSlack = 6
+	}
+	return o
+}
+
+// semanticAffinity routes semantically similar prompts to the instance
+// that has already served them, so that instance's Expert Map Store — and
+// its expert cache — have seen the prompt's expert-activation pattern
+// (§4.2's semantic search, lifted to the fleet). Each instance accumulates
+// a bounded memory of prompt-embedding centroids; requests go to the
+// instance with the most similar centroid unless that instance is
+// overloaded, in which case placement falls back to least-loaded (and the
+// topic migrates with it).
+type semanticAffinity struct {
+	opts      SemanticAffinityOptions
+	centroids [][][]float64 // [instance][k]embedding
+	fallback  Router
+}
+
+// NewSemanticAffinity returns the FineMoE-aware affinity router.
+func NewSemanticAffinity(opts SemanticAffinityOptions) Router {
+	return &semanticAffinity{opts: opts.withDefaults(), fallback: NewLeastLoaded()}
+}
+
+func (s *semanticAffinity) Name() string { return "semantic-affinity" }
+
+func (s *semanticAffinity) Route(req workload.Request, nowMS float64, fleet []InstanceState) int {
+	if len(s.centroids) < len(fleet) {
+		grown := make([][][]float64, len(fleet))
+		copy(grown, s.centroids)
+		s.centroids = grown
+	}
+
+	// Most-affine instance across the fleet.
+	bestInst, bestSim := -1, s.opts.MinSim
+	minLoad := fleet[0].load()
+	for _, st := range fleet[1:] {
+		if st.load() < minLoad {
+			minLoad = st.load()
+		}
+	}
+	for i := range fleet {
+		if fleet[i].load() > minLoad+s.opts.LoadSlack {
+			continue // affinity must not defeat load balancing
+		}
+		for _, c := range s.centroids[i] {
+			if sim := tensor.Cosine(req.Embedding, c); sim > bestSim {
+				bestSim, bestInst = sim, i
+			}
+		}
+	}
+	target := bestInst
+	if target < 0 {
+		target = s.fallback.Route(req, nowMS, fleet)
+	}
+	s.learn(target, req.Embedding)
+	return target
+}
+
+// learn folds the routed embedding into the target instance's affinity
+// memory: blend into the closest centroid when near-duplicate, else
+// remember it as a new centroid, evicting the oldest beyond the cap.
+func (s *semanticAffinity) learn(inst int, emb []float64) {
+	if len(emb) == 0 {
+		return
+	}
+	cs := s.centroids[inst]
+	closest, closestSim := -1, s.opts.MergeSim
+	for k, c := range cs {
+		if sim := tensor.Cosine(emb, c); sim >= closestSim {
+			closestSim, closest = sim, k
+		}
+	}
+	if closest >= 0 {
+		tensor.Axpy(0.25, emb, cs[closest])
+		tensor.Normalize(cs[closest])
+		return
+	}
+	cs = append(cs, tensor.Copy(emb))
+	if len(cs) > s.opts.MaxCentroids {
+		cs = cs[1:]
+	}
+	s.centroids[inst] = cs
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestClusterFigShape: semantic affinity must beat round-robin on fleet
+// hit rate at every load level (the routing redesign's acceptance bar).
+func TestClusterFigShape(t *testing.T) {
+	out, err := Run(smallCtx(), "clusterfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	rows := out.Table.Rows()
+	iRouter, iHit := col(t, h, "router"), col(t, h, "hit_rate")
+	iLoad := col(t, h, "load_mult")
+	byLoad := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byLoad[r[iLoad]] == nil {
+			byLoad[r[iLoad]] = map[string]float64{}
+		}
+		byLoad[r[iLoad]][r[iRouter]] = cell(t, r[iHit])
+	}
+	for load, m := range byLoad {
+		if m["semantic-affinity"] <= m["round-robin"] {
+			t.Errorf("load %s: semantic-affinity hit rate %.3f <= round-robin %.3f",
+				load, m["semantic-affinity"], m["round-robin"])
+		}
+	}
+}

@@ -1,15 +1,26 @@
 // Package httpserve exposes the FineMoE serving simulator over HTTP — the
-// demo surface of cmd/finemoe-serve. The Expert Map Store starts empty and
-// warms up as requests flow, so successive requests see improving hit rates
-// and latency, mirroring the paper's online-serving behaviour (§6.3).
+// demo surface of cmd/finemoe-serve. Requests flow through the cluster
+// pipeline: an admission policy gates each arrival, a router places it on
+// one of N serving instances, and each instance's Expert Map Store starts
+// empty and warms up as requests flow, so successive requests see
+// improving hit rates and latency, mirroring the paper's online-serving
+// behaviour (§6.3).
+//
+// Locking is two-level: a short-held server mutex covers the admission and
+// routing decision plus cumulative statistics, and each instance has its
+// own mutex serializing its engine. Requests routed to different instances
+// therefore simulate concurrently — the server no longer holds one global
+// lock across entire simulated runs.
 package httpserve
 
 import (
 	"encoding/json"
+	"fmt"
 	"log"
 	"net/http"
 	"sync"
 
+	"finemoe/internal/cluster"
 	"finemoe/internal/core"
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
@@ -25,33 +36,56 @@ type Config struct {
 	Model moe.Config
 	// Seed drives the simulated gate network and prompt noise.
 	Seed uint64
-	// GPU and NumGPUs define the simulated testbed.
+	// GPU and NumGPUs define the simulated testbed per instance.
 	GPU     memsim.GPUSpec
 	NumGPUs int
-	// CacheBytes is the expert-cache budget (0 = 30% of expert weights).
+	// CacheBytes is each instance's expert-cache budget (0 = 30% of
+	// expert weights).
 	CacheBytes int64
-	// StoreCapacity sizes the Expert Map Store (0 = the paper's 1K).
+	// StoreCapacity sizes each instance's Expert Map Store (0 = the
+	// paper's 1K).
 	StoreCapacity int
+	// Instances is the number of serving replicas (0 = 1).
+	Instances int
+	// Admission gates arrivals (nil = always-admit).
+	Admission cluster.Admission
+	// Router places admitted requests (nil = least-loaded).
+	Router cluster.Router
 	// Dataset provides the topic space for synthetic prompts.
 	Dataset workload.Dataset
 }
 
-// Server simulates serving over one engine; the virtual clock is shared
-// across requests, so it must serialize runs.
-type Server struct {
-	mu      sync.Mutex
-	cfg     moe.Config
-	model   *moe.Model
-	dataset workload.Dataset
-	engine  *serve.Engine
-	policy  *core.FineMoE
-	nextID  uint64
-	now     float64
+// instance is one serving replica: an engine plus its own lock and
+// cumulative statistics.
+type instance struct {
+	mu     sync.Mutex
+	engine *serve.Engine
+	policy *core.FineMoE
 
 	served           int
-	totalHits        int
-	totalMisses      int
+	hits, misses     int
 	sumTTFT, sumTPOT float64
+	now              float64
+}
+
+// Server simulates serving over a fleet of instances behind the
+// admission → routing pipeline.
+type Server struct {
+	cfg       moe.Config
+	dataset   workload.Dataset
+	instances []*instance
+
+	// mu guards the pipeline decision and the cumulative counters below;
+	// it is never held across a simulated run.
+	mu        sync.Mutex
+	admission cluster.Admission
+	router    cluster.Router
+	nextID    uint64
+	inflight  []int
+	completed []int
+	admitted  int
+	rejected  int
+	vnow      float64 // latest instance virtual clock seen
 }
 
 // New builds a server from the configuration.
@@ -68,19 +102,36 @@ func New(c Config) *Server {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = int64(float64(c.Model.TotalExpertBytes()) * 0.3)
 	}
+	if c.Instances <= 0 {
+		c.Instances = 1
+	}
+	if c.Admission == nil {
+		c.Admission = cluster.NewAlwaysAdmit()
+	}
+	if c.Router == nil {
+		c.Router = cluster.NewLeastLoaded()
+	}
 	if c.Dataset.Name == "" {
 		c.Dataset = workload.LMSYSChat1M()
 	}
-	model := moe.NewModel(c.Model, c.Seed)
-	pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
-	eng := serve.New(serve.Options{
-		Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
-		CacheBytes: c.CacheBytes, Policy: pol,
-	})
-	return &Server{
-		cfg: c.Model, model: model, dataset: c.Dataset,
-		engine: eng, policy: pol,
+	s := &Server{
+		cfg: c.Model, dataset: c.Dataset,
+		admission: c.Admission, router: c.Router,
+		inflight:  make([]int, c.Instances),
+		completed: make([]int, c.Instances),
 	}
+	for i := 0; i < c.Instances; i++ {
+		// Each instance gets its own simulated gate network (same seed =
+		// same model weights), policy, store, and cache.
+		model := moe.NewModel(c.Model, c.Seed)
+		pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
+		eng := serve.New(serve.Options{
+			Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
+			CacheBytes: c.CacheBytes, Policy: pol,
+		})
+		s.instances = append(s.instances, &instance{engine: eng, policy: pol})
+	}
+	return s
 }
 
 // GenerateRequest is the POST /v1/generate body.
@@ -97,6 +148,7 @@ type GenerateRequest struct {
 type GenerateResponse struct {
 	RequestID   uint64  `json:"request_id"`
 	Topic       int     `json:"topic"`
+	Instance    int     `json:"instance"`
 	TTFTms      float64 `json:"ttft_ms"`
 	TPOTms      float64 `json:"tpot_ms"`
 	E2Ems       float64 `json:"e2e_ms"`
@@ -107,19 +159,58 @@ type GenerateResponse struct {
 	VirtualTime float64 `json:"virtual_time_ms"`
 }
 
-// StatsResponse reports cumulative serving statistics.
-type StatsResponse struct {
+// InstanceStats reports one replica's cumulative state for /v1/stats.
+// QueueDepth is the routing-visible load signal — requests routed to the
+// instance and not yet finished — so the per-instance values sum to the
+// fleet-level QueueDepth.
+type InstanceStats struct {
+	ID          int     `json:"id"`
 	Served      int     `json:"served_requests"`
-	MeanTTFTms  float64 `json:"mean_ttft_ms"`
-	MeanTPOTms  float64 `json:"mean_tpot_ms"`
+	QueueDepth  int     `json:"queue_depth"`
 	HitRate     float64 `json:"hit_rate"`
+	MeanTTFTms  float64 `json:"mean_ttft_ms"`
 	StoreSize   int     `json:"store_size"`
-	StoreBytes  int64   `json:"store_bytes"`
 	VirtualTime float64 `json:"virtual_time_ms"`
 }
 
-// Generate simulates one request and updates serving state.
-func (s *Server) Generate(req GenerateRequest) GenerateResponse {
+// StatsResponse reports cumulative serving statistics.
+type StatsResponse struct {
+	Served      int             `json:"served_requests"`
+	Admitted    int             `json:"admitted_requests"`
+	Rejected    int             `json:"rejected_requests"`
+	QueueDepth  int             `json:"queue_depth"`
+	MeanTTFTms  float64         `json:"mean_ttft_ms"`
+	MeanTPOTms  float64         `json:"mean_tpot_ms"`
+	HitRate     float64         `json:"hit_rate"`
+	StoreSize   int             `json:"store_size"`
+	StoreBytes  int64           `json:"store_bytes"`
+	VirtualTime float64         `json:"virtual_time_ms"`
+	Admission   string          `json:"admission"`
+	Router      string          `json:"router"`
+	Instances   []InstanceStats `json:"instances"`
+}
+
+// ErrRejected reports a request shed by the admission policy.
+var ErrRejected = fmt.Errorf("httpserve: admission rejected request")
+
+// fleetStates snapshots the routing view. Caller holds s.mu; only
+// server-side counters are read, keeping s.mu disjoint from the instance
+// locks (a routed-but-unfinished request is the queue signal, since the
+// demo serves synchronously).
+func (s *Server) fleetStates() []cluster.InstanceState {
+	out := make([]cluster.InstanceState, len(s.instances))
+	for i := range s.instances {
+		out[i] = cluster.InstanceState{
+			ID: i, QueueDepth: s.inflight[i], Completed: s.completed[i],
+			Submitted: s.inflight[i] + s.completed[i],
+		}
+	}
+	return out
+}
+
+// Generate runs one request through admission → routing → instance and
+// updates serving state. Returns ErrRejected when admission sheds it.
+func (s *Server) Generate(req GenerateRequest) (GenerateResponse, error) {
 	if req.InputTokens <= 0 {
 		req.InputTokens = 37
 	}
@@ -127,9 +218,8 @@ func (s *Server) Generate(req GenerateRequest) GenerateResponse {
 		req.OutputTokens = 32
 	}
 
+	// Stage 1+2: admission and routing, under the short-held server lock.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	id := s.nextID
 	s.nextID++
 	topic := req.PromptTopic
@@ -151,51 +241,118 @@ func (s *Server) Generate(req GenerateRequest) GenerateResponse {
 		Topic:   topic,
 		Dataset: s.dataset.Name,
 	}
-	res := s.engine.RunOffline([]workload.Request{wreq}, nil)
-	m := res.Requests[0]
-	s.served++
-	s.totalHits += m.Hits
-	s.totalMisses += m.Misses
-	s.sumTTFT += m.TTFTms
-	s.sumTPOT += m.TPOTms
-	s.now = res.WallClockMS
+	fleet := s.fleetStates()
+	if !s.admission.Admit(wreq, s.vnow, fleet) {
+		s.rejected++
+		s.mu.Unlock()
+		return GenerateResponse{RequestID: id, Topic: topic, Instance: -1}, ErrRejected
+	}
+	s.admitted++
+	target := s.router.Route(wreq, s.vnow, fleet)
+	s.inflight[target]++
+	s.mu.Unlock()
+
+	// Stage 3: the instance simulates the request under its own lock, so
+	// requests on different instances run concurrently.
+	in := s.instances[target]
+	in.mu.Lock()
+	wreq.ArrivalMS = in.engine.Now()
+	in.engine.Submit(wreq)
+	in.engine.Drain()
+	// TakeCompleted (not Completed) so a long-running server does not
+	// accumulate per-request metrics without bound.
+	done := in.engine.TakeCompleted()
+	m := done[len(done)-1]
+	in.served++
+	in.hits += m.Hits
+	in.misses += m.Misses
+	in.sumTTFT += m.TTFTms
+	in.sumTPOT += m.TPOTms
+	in.now = in.engine.Now()
+	storeSize := in.policy.Store().Len()
+	vnow := in.now
+	in.mu.Unlock()
+
+	s.mu.Lock()
+	s.inflight[target]--
+	s.completed[target]++
+	if vnow > s.vnow {
+		s.vnow = vnow
+	}
+	s.mu.Unlock()
 
 	return GenerateResponse{
-		RequestID: id, Topic: topic,
+		RequestID: id, Topic: topic, Instance: target,
 		TTFTms: m.TTFTms, TPOTms: m.TPOTms, E2Ems: m.E2Ems,
 		Hits: m.Hits, Misses: m.Misses, HitRate: m.HitRate(),
-		StoreSize: s.policy.Store().Len(), VirtualTime: s.now,
-	}
+		StoreSize: storeSize, VirtualTime: vnow,
+	}, nil
 }
 
-// Stats returns cumulative statistics.
+// Stats returns cumulative fleet statistics.
 func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := StatsResponse{
-		Served: s.served, StoreSize: s.policy.Store().Len(),
-		StoreBytes: s.policy.Store().MemoryBytes(), VirtualTime: s.now,
+		Admitted:  s.admitted,
+		Rejected:  s.rejected,
+		Admission: s.admission.Name(),
+		Router:    s.router.Name(),
 	}
-	if s.served > 0 {
-		st.MeanTTFTms = s.sumTTFT / float64(s.served)
-		st.MeanTPOTms = s.sumTPOT / float64(s.served)
+	inflight := append([]int(nil), s.inflight...)
+	s.mu.Unlock()
+
+	var sumTTFT, sumTPOT float64
+	var hits, misses int
+	for i, in := range s.instances {
+		in.mu.Lock()
+		is := InstanceStats{
+			ID: i, Served: in.served, QueueDepth: inflight[i],
+			StoreSize: in.policy.Store().Len(), VirtualTime: in.now,
+		}
+		if in.served > 0 {
+			is.MeanTTFTms = in.sumTTFT / float64(in.served)
+		}
+		if in.hits+in.misses > 0 {
+			is.HitRate = float64(in.hits) / float64(in.hits+in.misses)
+		}
+		st.Served += in.served
+		st.QueueDepth += inflight[i]
+		st.StoreSize += is.StoreSize
+		st.StoreBytes += in.policy.Store().MemoryBytes()
+		sumTTFT += in.sumTTFT
+		sumTPOT += in.sumTPOT
+		hits += in.hits
+		misses += in.misses
+		if in.now > st.VirtualTime {
+			st.VirtualTime = in.now
+		}
+		st.Instances = append(st.Instances, is)
+		in.mu.Unlock()
 	}
-	if s.totalHits+s.totalMisses > 0 {
-		st.HitRate = float64(s.totalHits) / float64(s.totalHits+s.totalMisses)
+	if st.Served > 0 {
+		st.MeanTTFTms = sumTTFT / float64(st.Served)
+		st.MeanTPOTms = sumTPOT / float64(st.Served)
+	}
+	if hits+misses > 0 {
+		st.HitRate = float64(hits) / float64(hits+misses)
 	}
 	return st
 }
 
 // ConfigInfo describes the deployment for GET /v1/config.
 func (s *Server) ConfigInfo() map[string]any {
+	pol := s.instances[0].policy
 	return map[string]any{
 		"model":             s.cfg.Name,
 		"layers":            s.cfg.Layers,
 		"experts_per_layer": s.cfg.RoutedExperts,
 		"top_k":             s.cfg.TopK,
-		"prefetch_distance": s.policy.PrefetchDistance(),
-		"store_capacity":    s.policy.Store().Capacity(),
+		"prefetch_distance": pol.PrefetchDistance(),
+		"store_capacity":    pol.Store().Capacity(),
 		"dataset":           s.dataset.Name,
+		"instances":         len(s.instances),
+		"admission":         s.admission.Name(),
+		"router":            s.router.Name(),
 	}
 }
 
@@ -205,6 +362,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/config", s.handleConfig)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -222,7 +380,18 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "token counts out of range", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, s.Generate(req))
+	resp, err := s.Generate(req)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		if err := json.NewEncoder(w).Encode(map[string]any{
+			"error": "rejected by admission policy", "request_id": resp.RequestID,
+		}); err != nil {
+			log.Printf("httpserve: encode rejection: %v", err)
+		}
+		return
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -231,6 +400,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.ConfigInfo())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "instances": len(s.instances)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

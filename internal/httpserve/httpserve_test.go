@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"finemoe/internal/cluster"
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
 	"finemoe/internal/workload"
@@ -22,6 +23,7 @@ func testServer() *Server {
 		NumGPUs:       2,
 		CacheBytes:    moe.Tiny().ExpertBytes() * int64(moe.Tiny().NumExperts()) / 2,
 		StoreCapacity: 100,
+		Instances:     2,
 		Dataset:       ds,
 	})
 }
@@ -158,8 +160,110 @@ func TestDefaultsApplied(t *testing.T) {
 	if info["store_capacity"] != 1000 {
 		t.Fatalf("default store capacity %v", info["store_capacity"])
 	}
-	out := s.Generate(GenerateRequest{PromptTopic: -1})
+	if info["instances"] != 1 || info["admission"] != "always-admit" || info["router"] != "least-loaded" {
+		t.Fatalf("cluster defaults %v", info)
+	}
+	out, err := s.Generate(GenerateRequest{PromptTopic: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.TTFTms <= 0 {
 		t.Fatal("defaults produced degenerate run")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["instances"] != float64(2) {
+		t.Fatalf("healthz %v", h)
+	}
+}
+
+func TestMultiInstanceRoutingAndStats(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	// Serve several requests; the least-loaded router over a 2-instance
+	// fleet must touch both replicas (synchronous demo = the previous
+	// request has always drained, so routing alternates on completions).
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		out := postGenerate(t, ts, GenerateRequest{PromptTopic: i % 2, InputTokens: 6, OutputTokens: 6})
+		if out.Instance < 0 || out.Instance >= 2 {
+			t.Fatalf("instance %d out of range", out.Instance)
+		}
+		seen[out.Instance] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("routing used instances %v, want both", seen)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 4 || st.Rejected != 0 || st.Admitted != 4 {
+		t.Fatalf("fleet accounting %+v", st)
+	}
+	if len(st.Instances) != 2 {
+		t.Fatalf("stats cover %d instances, want 2", len(st.Instances))
+	}
+	var served int
+	for _, is := range st.Instances {
+		served += is.Served
+		if is.HitRate < 0 || is.HitRate > 1 {
+			t.Fatalf("instance %d hit rate %v", is.ID, is.HitRate)
+		}
+	}
+	if served != 4 {
+		t.Fatalf("per-instance served %d, want 4", served)
+	}
+	if st.Router != "least-loaded" || st.Admission != "always-admit" {
+		t.Fatalf("policy names %q/%q", st.Admission, st.Router)
+	}
+}
+
+func TestAdmissionRejectionOver429(t *testing.T) {
+	ds := workload.LMSYSChat1M()
+	ds.Topics = 6
+	s := New(Config{
+		Model: moe.Tiny(), Seed: 1, GPU: memsim.RTX3090(), NumGPUs: 2,
+		StoreCapacity: 100, Instances: 2, Dataset: ds,
+		Admission: cluster.NewRejectAll(),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	buf, _ := json.Marshal(GenerateRequest{InputTokens: 6, OutputTokens: 6})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rejected request status %d, want 429", resp.StatusCode)
+	}
+
+	st := s.Stats()
+	if st.Rejected != 1 || st.Served != 0 {
+		t.Fatalf("rejection accounting %+v", st)
 	}
 }

@@ -96,6 +96,13 @@ type Result struct {
 
 // Engine executes serving runs. Construct a fresh Engine (and policy) per
 // run; engines are not safe for concurrent use.
+//
+// Beyond the closed RunOffline/RunOnline loops, the engine exposes a
+// steppable event-driven surface — Submit, NextEventTime, Step, Drain,
+// Finalize — so an external orchestrator (e.g. internal/cluster) can
+// interleave many engines under one shared virtual clock. The step surface
+// uses online semantics: continuous batching up to MaxBatch with
+// prefill-first admission at iteration boundaries.
 type Engine struct {
 	opts    Options
 	cfg     moe.Config
@@ -109,6 +116,18 @@ type Engine struct {
 	syncLoadMS float64 // cumulative SyncLoad wait, for attribution
 	hits       int
 	misses     int
+
+	// Steppable run state. pendingIt is parallel to pending; a nil entry
+	// means "simulate the gate trace at admission time".
+	pending   []workload.Request
+	pendingIt [][]*moe.Iteration
+	running   []*runReq
+	completed []RequestMetrics
+	now       float64
+	// offline switches admission to RunOffline's lockstep fixed-batch
+	// semantics: a new batch is admitted only when the previous one fully
+	// drains, arrival times are ignored, and submission order is kept.
+	offline bool
 }
 
 // New builds an engine for one run.
@@ -427,68 +446,217 @@ func (e *Engine) finalize(reqs []RequestMetrics, wallClock float64) *Result {
 	return res
 }
 
-// traceOf returns the request's gate trace, from the supplied cache or by
-// simulating.
-func traceOf(m *moe.Model, req workload.Request, traces map[uint64][]*moe.Iteration) []*moe.Iteration {
-	if traces != nil {
-		if t, ok := traces[req.ID]; ok {
-			return t
+// --- steppable surface ------------------------------------------------------
+
+// Submit enqueues a request for serving. In the default (online) mode the
+// queue is kept sorted by arrival time with stable insertion, so requests
+// may be submitted out of arrival order. The gate trace is simulated lazily
+// at admission time.
+func (e *Engine) Submit(req workload.Request) { e.SubmitTraced(req, nil) }
+
+// SubmitTraced enqueues a request with a pre-computed gate trace (nil
+// simulates at admission), allowing simulation work to be shared across
+// policy runs.
+func (e *Engine) SubmitTraced(req workload.Request, iters []*moe.Iteration) {
+	i := len(e.pending)
+	if !e.offline {
+		// Stable insertion by arrival time: equal arrivals keep
+		// submission order, matching the FIFO replay of RunOnline.
+		for i > 0 && e.pending[i-1].ArrivalMS > req.ArrivalMS {
+			i--
 		}
 	}
-	return m.Trace(req.PromptSpec)
+	e.pending = append(e.pending, workload.Request{})
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = req
+	e.pendingIt = append(e.pendingIt, nil)
+	copy(e.pendingIt[i+1:], e.pendingIt[i:])
+	e.pendingIt[i] = iters
 }
+
+// Now returns the engine's virtual clock (ms).
+func (e *Engine) Now() float64 { return e.now }
+
+// QueueDepth reports submitted requests not yet admitted to the batch.
+func (e *Engine) QueueDepth() int { return len(e.pending) }
+
+// InFlight reports requests admitted and not yet completed.
+func (e *Engine) InFlight() int { return len(e.running) }
+
+// CompletedCount reports requests served so far.
+func (e *Engine) CompletedCount() int { return len(e.completed) }
+
+// Completed returns the metrics of every request served so far, in
+// completion order. The returned slice is shared; callers must not mutate.
+func (e *Engine) Completed() []RequestMetrics { return e.completed }
+
+// TakeCompleted returns the requests completed since the previous call and
+// removes them from the engine's history, bounding memory on long-running
+// deployments. A later Finalize aggregates only what remains, so callers
+// must pick one consumption style: TakeCompleted (serving) or Finalize
+// (batch runs).
+func (e *Engine) TakeCompleted() []RequestMetrics {
+	out := e.completed
+	e.completed = nil
+	return out
+}
+
+// NextEventTime returns the virtual time of the engine's next actionable
+// event: the current clock when a batch is in flight (an iteration can
+// start immediately), the earliest pending arrival when idle, and +Inf when
+// fully drained.
+func (e *Engine) NextEventTime() float64 {
+	if len(e.running) > 0 {
+		return e.now
+	}
+	if len(e.pending) > 0 {
+		if t := e.pending[0].ArrivalMS; !e.offline && t > e.now {
+			return t
+		}
+		return e.now
+	}
+	return math.Inf(1)
+}
+
+// Step processes the engine's next event if it occurs at or before until:
+// admit arrivals due at the (possibly advanced) clock, then run one
+// iteration. Iterations are atomic in virtual time, so the clock may
+// overshoot until; Step guarantees only that no new event *starts* after
+// until. Reports whether any work was done.
+func (e *Engine) Step(until float64) bool {
+	if e.NextEventTime() > until {
+		return false
+	}
+	return e.step()
+}
+
+// Drain runs every submitted request to completion and returns the final
+// clock.
+func (e *Engine) Drain() float64 {
+	for e.step() {
+	}
+	return e.now
+}
+
+// Finalize aggregates everything served so far into a Result.
+func (e *Engine) Finalize() *Result {
+	return e.finalize(e.completed, e.now)
+}
+
+// admitOne moves the head of the pending queue into the running batch,
+// simulating its gate trace if none was supplied. arrival records the
+// request's metric arrival time (its trace arrival online, the current
+// clock offline).
+func (e *Engine) admitOne(arrival float64) *runReq {
+	q := e.pending[0]
+	iters := e.pendingIt[0]
+	e.pending = e.pending[1:]
+	e.pendingIt = e.pendingIt[1:]
+	if iters == nil {
+		iters = e.model.Trace(q.PromptSpec)
+	}
+	r := &runReq{req: q, iters: iters}
+	r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: arrival, StartMS: e.now, OutputTokens: q.OutputTokens}
+	e.now = e.hook(e.now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
+	e.running = append(e.running, r)
+	return r
+}
+
+// admit pulls every due arrival into the batch up to MaxBatch (online
+// continuous-batching admission).
+func (e *Engine) admit() []*runReq {
+	var fresh []*runReq
+	for len(e.pending) > 0 && len(e.running) < e.opts.MaxBatch && e.pending[0].ArrivalMS <= e.now {
+		fresh = append(fresh, e.admitOne(e.pending[0].ArrivalMS))
+	}
+	return fresh
+}
+
+// runBatch executes one iteration for the batch and advances the clock.
+func (e *Engine) runBatch(batch []*runReq) {
+	end := e.runIteration(batch, e.now)
+	e.finishIteration(batch, end)
+	e.now = end
+}
+
+// step executes one scheduling event: advance the clock to the next arrival
+// if idle, admit, and run one iteration. Returns false when drained.
+func (e *Engine) step() bool {
+	if len(e.pending) == 0 && len(e.running) == 0 {
+		return false
+	}
+	if e.offline {
+		// Lockstep fixed batches: admit BatchSize requests only once the
+		// batch fully drains; arrivals are the admission clock.
+		if len(e.running) == 0 {
+			n := min(e.opts.BatchSize, len(e.pending))
+			for i := 0; i < n; i++ {
+				e.admitOne(e.now)
+			}
+		}
+		e.runBatch(append([]*runReq(nil), e.running...))
+		return true
+	}
+	if len(e.running) == 0 && e.pending[0].ArrivalMS > e.now {
+		e.now = e.pending[0].ArrivalMS
+	}
+	if fresh := e.admit(); len(fresh) > 0 {
+		// Prefill newly admitted requests together.
+		e.runBatch(fresh)
+		return true
+	}
+	if len(e.running) == 0 {
+		// Unreachable while New defaults MaxBatch >= 1 (the clock just
+		// advanced to the head arrival, so admit took at least one);
+		// returning false keeps Drain from spinning if that ever changes.
+		return false
+	}
+	e.runBatch(append([]*runReq(nil), e.running...))
+	return true
+}
+
+// finishIteration advances each batch member past its completed iteration,
+// recording first-token and completion metrics and retiring finished
+// requests from the running batch.
+func (e *Engine) finishIteration(batch []*runReq, end float64) {
+	for _, r := range batch {
+		it := r.iters[r.next]
+		if it.Index == 0 {
+			r.metrics.FirstTokenMS = end
+			r.metrics.TTFTms = end - r.metrics.ArrivalMS
+		}
+		r.next++
+		if r.done() {
+			r.metrics.EndMS = end
+			r.metrics.E2Ems = end - r.metrics.ArrivalMS
+			if r.req.OutputTokens > 1 {
+				r.metrics.TPOTms = (end - r.metrics.FirstTokenMS) / float64(r.req.OutputTokens-1)
+			}
+			e.pol.EndRequest(r.req.ID, end)
+			e.completed = append(e.completed, r.metrics)
+			for i, rr := range e.running {
+				if rr == r {
+					e.running = append(e.running[:i], e.running[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// --- closed run loops (thin wrappers over the step surface) -----------------
 
 // RunOffline serves requests in fixed-size lockstep batches (§6.2's setup:
 // sequential prompts, batch size 1 unless Fig. 16b sweeps it). traces may
 // pre-supply gate traces keyed by request ID to share simulation work
 // across policy runs; nil simulates on the fly.
 func (e *Engine) RunOffline(reqs []workload.Request, traces map[uint64][]*moe.Iteration) *Result {
-	var metrics []RequestMetrics
-	now := 0.0
-	for base := 0; base < len(reqs); base += e.opts.BatchSize {
-		endIdx := base + e.opts.BatchSize
-		if endIdx > len(reqs) {
-			endIdx = len(reqs)
-		}
-		var batch []*runReq
-		for _, q := range reqs[base:endIdx] {
-			r := &runReq{req: q, iters: traceOf(e.model, q, traces)}
-			r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: now, StartMS: now, OutputTokens: q.OutputTokens}
-			batch = append(batch, r)
-			now = e.hook(now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
-		}
-		for {
-			var live []*runReq
-			for _, r := range batch {
-				if !r.done() {
-					live = append(live, r)
-				}
-			}
-			if len(live) == 0 {
-				break
-			}
-			end := e.runIteration(live, now)
-			for _, r := range live {
-				it := r.iters[r.next]
-				if it.Index == 0 {
-					r.metrics.FirstTokenMS = end
-					r.metrics.TTFTms = end - r.metrics.ArrivalMS
-				}
-				r.next++
-				if r.done() {
-					r.metrics.EndMS = end
-					r.metrics.E2Ems = end - r.metrics.ArrivalMS
-					if r.req.OutputTokens > 1 {
-						r.metrics.TPOTms = (end - r.metrics.FirstTokenMS) / float64(r.req.OutputTokens-1)
-					}
-					e.pol.EndRequest(r.req.ID, end)
-					metrics = append(metrics, r.metrics)
-				}
-			}
-			now = end
-		}
+	e.offline = true
+	for _, q := range reqs {
+		e.SubmitTraced(q, traces[q.ID])
 	}
-	return e.finalize(metrics, now)
+	e.Drain()
+	return e.Finalize()
 }
 
 // RunOnline replays an arrival trace with iteration-granularity continuous
@@ -497,70 +665,9 @@ func (e *Engine) RunOffline(reqs []workload.Request, traces map[uint64][]*moe.It
 // completion. The Expert Map Store / EAM collection start however the
 // caller built them — empty for the paper's online experiment.
 func (e *Engine) RunOnline(trace []workload.Request, traces map[uint64][]*moe.Iteration) *Result {
-	var metrics []RequestMetrics
-	pending := append([]workload.Request(nil), trace...)
-	var running []*runReq
-	now := 0.0
-
-	admit := func() []*runReq {
-		var fresh []*runReq
-		for len(pending) > 0 && len(running) < e.opts.MaxBatch && pending[0].ArrivalMS <= now {
-			q := pending[0]
-			pending = pending[1:]
-			r := &runReq{req: q, iters: traceOf(e.model, q, traces)}
-			r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: q.ArrivalMS, StartMS: now, OutputTokens: q.OutputTokens}
-			now = e.hook(now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
-			running = append(running, r)
-			fresh = append(fresh, r)
-		}
-		return fresh
+	for _, q := range trace {
+		e.SubmitTraced(q, traces[q.ID])
 	}
-
-	finishIteration := func(batch []*runReq, end float64) {
-		for _, r := range batch {
-			it := r.iters[r.next]
-			if it.Index == 0 {
-				r.metrics.FirstTokenMS = end
-				r.metrics.TTFTms = end - r.metrics.ArrivalMS
-			}
-			r.next++
-			if r.done() {
-				r.metrics.EndMS = end
-				r.metrics.E2Ems = end - r.metrics.ArrivalMS
-				if r.req.OutputTokens > 1 {
-					r.metrics.TPOTms = (end - r.metrics.FirstTokenMS) / float64(r.req.OutputTokens-1)
-				}
-				e.pol.EndRequest(r.req.ID, end)
-				metrics = append(metrics, r.metrics)
-				for i, rr := range running {
-					if rr == r {
-						running = append(running[:i], running[i+1:]...)
-						break
-					}
-				}
-			}
-		}
-	}
-
-	for len(pending) > 0 || len(running) > 0 {
-		if len(running) == 0 && len(pending) > 0 && pending[0].ArrivalMS > now {
-			now = pending[0].ArrivalMS
-		}
-		fresh := admit()
-		if len(fresh) > 0 {
-			// Prefill newly admitted requests together.
-			end := e.runIteration(fresh, now)
-			finishIteration(fresh, end)
-			now = end
-			continue
-		}
-		if len(running) == 0 {
-			continue
-		}
-		batch := append([]*runReq(nil), running...)
-		end := e.runIteration(batch, now)
-		finishIteration(batch, end)
-		now = end
-	}
-	return e.finalize(metrics, now)
+	e.Drain()
+	return e.Finalize()
 }
