@@ -21,6 +21,16 @@
 //
 //	finemoe-serve -model mixtral -addr :8080 -gpus 6 -cache-gb 27 \
 //	  -instances 4 -admission token-bucket -admit-rate 8 -router semantic
+//
+// With -autoscale the fleet resizes itself on queue pressure, evaluated
+// at each admitted arrival: sustained load above the high watermark adds
+// an instance (up to -max-instances, reusing drained retired replicas
+// first), and sustained low load retires the least-loaded replica (down
+// to -min-instances) as subsequent arrivals are admitted — a fully idle
+// server holds its size until traffic resumes. Retired instances finish
+// in-flight work but receive no further routes:
+//
+//	finemoe-serve -model mixtral -instances 1 -autoscale -min-instances 1 -max-instances 8
 package main
 
 import (
@@ -87,6 +97,9 @@ func main() {
 		admitBurst = flag.Float64("admit-burst", 32, "token-bucket capacity (with -admission token-bucket)")
 		admitRate  = flag.Float64("admit-rate", 8, "token-bucket refill per second (with -admission token-bucket)")
 		routerArg  = flag.String("router", "least-loaded", "router policy: round-robin|least-loaded|semantic")
+		autoscale  = flag.Bool("autoscale", false, "resize the fleet on queue pressure (grow under load, retire idle instances)")
+		minInst    = flag.Int("min-instances", 1, "autoscaling floor (with -autoscale)")
+		maxInst    = flag.Int("max-instances", 8, "autoscaling ceiling (with -autoscale)")
 	)
 	flag.Parse()
 
@@ -109,17 +122,28 @@ func main() {
 	if *cacheGB > 0 {
 		cacheBytes = int64(*cacheGB * float64(int64(1)<<30))
 	}
+	var scaler cluster.Autoscaler
+	if *autoscale {
+		scaler = cluster.NewQueuePressure(cluster.QueuePressureOptions{})
+	}
 	srv := httpserve.New(httpserve.Config{
 		Model: cfg, Seed: *seed,
 		GPU: memsim.RTX3090(), NumGPUs: *gpus,
-		CacheBytes: cacheBytes,
-		Instances:  *instances,
-		Admission:  adm,
-		Router:     rt,
+		CacheBytes:   cacheBytes,
+		Instances:    *instances,
+		Admission:    adm,
+		Router:       rt,
+		Autoscaler:   scaler,
+		MinInstances: *minInst,
+		MaxInstances: *maxInst,
 	})
 
-	log.Printf("finemoe-serve: %s, %d instance(s) × %d GPU(s), admission=%s router=%s, listening on %s",
-		cfg.Name, *instances, *gpus, adm.Name(), rt.Name(), *addr)
+	scaleInfo := ""
+	if *autoscale {
+		scaleInfo = fmt.Sprintf(" autoscale=[%d,%d]", *minInst, *maxInst)
+	}
+	log.Printf("finemoe-serve: %s, %d instance(s) × %d GPU(s), admission=%s router=%s%s, listening on %s",
+		cfg.Name, *instances, *gpus, adm.Name(), rt.Name(), scaleInfo, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,14 @@
 // Expert Map Store has already seen similar prompts and the fleet hit
 // rate rises.
 //
+// The final run swaps the fixed fleet for queue-pressure autoscaling:
+// one cold instance grows to the fixed fleet's size under the burst and
+// drains back down in the quiet tail, tracking the fixed round-robin
+// fleet's latency while provisioning fewer instance-hours — despite
+// starting from a single cold replica. (The fixed semantic-affinity
+// fleet stays ahead on latency: topic affinity is a routing win the
+// elastic fleet here does not use.)
+//
 // Run with: go run ./examples/cluster
 package main
 
@@ -41,6 +49,18 @@ func main() {
 		N:          64,
 		Seed:       5,
 	})
+	// A sparse cool-down tail after the burst: the fixed fleet idles
+	// through it, the autoscaled fleet shrinks into it.
+	tail := finemoe.AzureTrace(ds, cfg.SemDim, finemoe.TraceConfig{
+		RatePerSec: 1,
+		N:          8,
+		Seed:       6,
+		IDBase:     1 << 33,
+	})
+	for i := range tail {
+		tail[i].ArrivalMS += trace[len(trace)-1].ArrivalMS
+	}
+	trace = append(trace, tail...)
 	for i := range trace {
 		if trace[i].OutputTokens > 24 {
 			trace[i].OutputTokens = 24
@@ -68,6 +88,35 @@ func main() {
 			fmt.Printf("  instance %d: %d routed, %d served, hit rate %.3f\n",
 				ir.ID, ir.Submitted, len(ir.Result.Requests), ir.Result.HitRate)
 		}
-		fmt.Println()
+		fmt.Printf("  provisioned: %.5f instance-hours\n\n", res.InstanceHours)
+	}
+
+	// The same trace through an elastic fleet: start with one cold
+	// instance and let queue pressure size the fleet. The EngineFactory
+	// supplies fresh cold-store instances as the autoscaler grows.
+	// Compare the printed instance-hours against the fixed round-robin
+	// fleet above: similar latency, less provisioned capacity.
+	cl := finemoe.NewCluster(finemoe.ClusterOptions{
+		Engines:   newFleet(model, 1),
+		Admission: finemoe.NewTokenBucket(32, 16),
+		Router:    finemoe.NewLeastLoaded(),
+		Autoscaler: finemoe.NewQueuePressure(finemoe.QueuePressureOptions{
+			HighWatermark: 1.5, LowWatermark: 1.0,
+			SustainMS: 50, CooldownMS: 50,
+		}),
+		EngineFactory: func(id int) *finemoe.Engine {
+			return newFleet(model, 1)[0]
+		},
+		MinInstances:        1,
+		MaxInstances:        4,
+		AutoscaleIntervalMS: 25,
+	})
+	res := cl.RunTrace(trace)
+	fmt.Println(res)
+	fmt.Printf("  fleet: TTFT p50/p99 %.2f/%.2f s, provisioned %.5f instance-hours\n",
+		res.TTFT.P50/1000, res.TTFT.P99/1000, res.InstanceHours)
+	for _, ev := range res.ScaleEvents {
+		fmt.Printf("  t=%6.0f ms  %-6s instance %d (fleet -> %d)\n",
+			ev.TimeMS, ev.Kind, ev.Instance, ev.ActiveAfter)
 	}
 }

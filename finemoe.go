@@ -21,7 +21,9 @@
 //     routing → instance pipeline: pluggable admission (always-admit,
 //     token-bucket, reject-all) and routing (round-robin, least-loaded,
 //     FineMoE-aware semantic-affinity) policies under one shared virtual
-//     clock, with fleet-wide metric aggregation;
+//     clock, with queue-pressure autoscaling (grow fresh cold-store
+//     instances under sustained load, drain-then-retire idle ones) and
+//     fleet-wide metric aggregation;
 //   - workload generators standing in for LMSYS-Chat-1M, ShareGPT and the
 //     Azure inference traces;
 //   - the experiment harness reproducing every table and figure of the
@@ -269,6 +271,42 @@ type Router = cluster.Router
 
 // SemanticAffinityOptions tunes the FineMoE-aware affinity router.
 type SemanticAffinityOptions = cluster.SemanticAffinityOptions
+
+// Autoscaler resizes the fleet under the shared-clock loop: it observes
+// the routable instances at fixed virtual-time intervals and may grow
+// the fleet (via ClusterOptions.EngineFactory) or drain-then-retire an
+// instance.
+type Autoscaler = cluster.Autoscaler
+
+// ScaleDecision is an autoscaler's verdict for one tick.
+type ScaleDecision = cluster.Decision
+
+// AutoscalerFeedback is an optional Autoscaler extension: orchestrators
+// report whether a non-hold decision was applied or refused at the
+// fleet-size bounds, so pacing state charges only for applied resizes.
+type AutoscalerFeedback = cluster.DecisionFeedback
+
+// Autoscaler verdicts.
+const (
+	ScaleHold   ScaleDecision = cluster.Hold
+	ScaleGrow   ScaleDecision = cluster.Grow
+	ScaleShrink ScaleDecision = cluster.Shrink
+)
+
+// ScaleEvent records one autoscaler-driven fleet resize in a
+// ClusterResult.
+type ScaleEvent = cluster.ScaleEvent
+
+// QueuePressureOptions tunes the hysteresis-banded queue-pressure
+// autoscaler.
+type QueuePressureOptions = cluster.QueuePressureOptions
+
+// NewQueuePressure returns the queue-pressure autoscaler: grow when mean
+// queued+in-flight per instance stays above the high watermark, shrink
+// when it stays below the low watermark, hold inside the band.
+func NewQueuePressure(opts QueuePressureOptions) Autoscaler {
+	return cluster.NewQueuePressure(opts)
+}
 
 // NewCluster builds a cluster over freshly constructed engines.
 func NewCluster(opts ClusterOptions) *Cluster { return cluster.New(opts) }

@@ -22,12 +22,23 @@ import (
 
 // Instance is one serving replica: an engine plus fleet bookkeeping.
 type Instance struct {
-	// ID is the instance index within the fleet.
+	// ID is the instance's stable identity within the fleet. IDs are
+	// assigned monotonically and never reused, so they survive fleet
+	// resizes (an instance keeps its ID when others join or retire).
 	ID int
 	// Engine is the replica's serving engine (its own policy and cache).
 	Engine *serve.Engine
 	// Submitted counts requests routed to this instance.
 	Submitted int
+	// StartedMS is the cluster time the instance joined the fleet
+	// (0 for the initial fleet).
+	StartedMS float64
+	// Retiring marks an instance selected for scale-down: it receives no
+	// further routes but keeps draining in the shared-clock loop.
+	Retiring bool
+	// RetiredMS is the cluster time of the shrink decision (meaningful
+	// only when Retiring).
+	RetiredMS float64
 }
 
 // State snapshots the instance's load view for admission and routing.
@@ -52,6 +63,19 @@ type InstanceState struct {
 	NowMS      float64
 }
 
+// ScaleEvent records one autoscaler-driven fleet resize.
+type ScaleEvent struct {
+	// TimeMS is the shared-clock time of the decision.
+	TimeMS float64
+	// Kind is "grow" or "shrink".
+	Kind string
+	// Instance is the ID of the instance joining (grow) or beginning to
+	// drain (shrink).
+	Instance int
+	// ActiveAfter is the routable fleet size after the event.
+	ActiveAfter int
+}
+
 // Options assembles a cluster.
 type Options struct {
 	// Engines are the per-instance serving engines, one per replica. Each
@@ -61,6 +85,21 @@ type Options struct {
 	Admission Admission
 	// Router places admitted requests (nil = round-robin).
 	Router Router
+	// Autoscaler, when non-nil, resizes the fleet: it is evaluated every
+	// AutoscaleIntervalMS of shared-clock time during RunTrace and may
+	// grow the fleet (via EngineFactory) or drain-then-retire an
+	// instance.
+	Autoscaler Autoscaler
+	// EngineFactory builds a fresh cold-store engine for the given
+	// instance ID when the autoscaler grows the fleet. Required when
+	// Autoscaler is set.
+	EngineFactory func(id int) *serve.Engine
+	// MinInstances / MaxInstances bound the routable fleet size under
+	// autoscaling (defaults: 1 and 4× the initial fleet).
+	MinInstances, MaxInstances int
+	// AutoscaleIntervalMS spaces autoscale ticks on the shared clock
+	// (default 500 ms).
+	AutoscaleIntervalMS float64
 }
 
 // Cluster is a fleet of serving instances sharing one virtual clock.
@@ -68,6 +107,16 @@ type Cluster struct {
 	instances []*Instance
 	admission Admission
 	router    Router
+
+	scaler   Autoscaler
+	factory  func(id int) *serve.Engine
+	minInst  int
+	maxInst  int
+	tickMS   float64
+	nextTick float64
+	nextID   int
+	initial  int
+	events   []ScaleEvent
 
 	now      float64
 	admitted int
@@ -85,18 +134,60 @@ func New(opts Options) *Cluster {
 	if opts.Router == nil {
 		opts.Router = NewRoundRobin()
 	}
-	c := &Cluster{admission: opts.Admission, router: opts.Router}
+	if opts.Autoscaler != nil && opts.EngineFactory == nil {
+		panic("cluster: Autoscaler requires an EngineFactory")
+	}
+	if opts.MinInstances <= 0 {
+		opts.MinInstances = 1
+	}
+	if opts.MaxInstances <= 0 {
+		opts.MaxInstances = 4 * len(opts.Engines)
+	}
+	if opts.MaxInstances < opts.MinInstances {
+		opts.MaxInstances = opts.MinInstances
+	}
+	if opts.AutoscaleIntervalMS <= 0 {
+		opts.AutoscaleIntervalMS = 500
+	}
+	c := &Cluster{
+		admission: opts.Admission,
+		router:    opts.Router,
+		scaler:    opts.Autoscaler,
+		factory:   opts.EngineFactory,
+		minInst:   opts.MinInstances,
+		maxInst:   opts.MaxInstances,
+		tickMS:    opts.AutoscaleIntervalMS,
+		nextTick:  opts.AutoscaleIntervalMS,
+		initial:   len(opts.Engines),
+	}
 	for i, e := range opts.Engines {
 		if e == nil {
 			panic("cluster: nil engine")
 		}
 		c.instances = append(c.instances, &Instance{ID: i, Engine: e})
 	}
+	c.nextID = len(c.instances)
 	return c
 }
 
-// Size returns the number of instances.
+// Size returns the number of instances ever part of the fleet, including
+// retiring ones.
 func (c *Cluster) Size() int { return len(c.instances) }
+
+// ActiveSize returns the routable fleet size (instances not retiring).
+func (c *Cluster) ActiveSize() int {
+	n := 0
+	for _, in := range c.instances {
+		if !in.Retiring {
+			n++
+		}
+	}
+	return n
+}
+
+// ScaleEvents returns the autoscaler's resize history so far (shared;
+// callers must not mutate).
+func (c *Cluster) ScaleEvents() []ScaleEvent { return c.events }
 
 // Instances returns the fleet (shared; callers must not mutate).
 func (c *Cluster) Instances() []*Instance { return c.instances }
@@ -110,7 +201,8 @@ func (c *Cluster) Rejected() int { return c.rejected }
 // Admitted counts requests accepted so far.
 func (c *Cluster) Admitted() int { return c.admitted }
 
-// States snapshots every instance's load view, in instance order.
+// States snapshots every instance's load view, in instance order,
+// including retiring instances.
 func (c *Cluster) States() []InstanceState {
 	out := make([]InstanceState, len(c.instances))
 	for i, in := range c.instances {
@@ -119,28 +211,97 @@ func (c *Cluster) States() []InstanceState {
 	return out
 }
 
+// activeStates snapshots the routable fleet — the view admission, routing
+// and autoscaling observe. Entries are ordered by ascending instance ID
+// (creation order), and each entry's ID is the instance's stable
+// identity, not its position.
+func (c *Cluster) activeStates() []InstanceState {
+	out := make([]InstanceState, 0, len(c.instances))
+	for _, in := range c.instances {
+		if !in.Retiring {
+			out = append(out, in.State())
+		}
+	}
+	return out
+}
+
+// instanceByID returns the instance with the given stable ID.
+func (c *Cluster) instanceByID(id int) *Instance {
+	for _, in := range c.instances {
+		if in.ID == id {
+			return in
+		}
+	}
+	panic("cluster: unknown instance id")
+}
+
 // Offer runs one request through admission and routing at the request's
 // arrival time (clamped forward to the cluster clock) and submits it to
-// the chosen instance. Returns the instance index, or -1 when admission
-// sheds the request.
+// the chosen instance. Returns the instance ID, or -1 when admission
+// sheds the request. Retiring instances are invisible to admission and
+// routing.
 func (c *Cluster) Offer(req workload.Request) int {
 	if t := req.ArrivalMS; t > c.now {
 		c.now = t
 	}
-	fleet := c.States()
+	fleet := c.activeStates()
 	if !c.admission.Admit(req, c.now, fleet) {
 		c.rejected++
 		return -1
 	}
 	c.admitted++
 	i := c.router.Route(req, c.now, fleet)
-	if i < 0 || i >= len(c.instances) {
+	if i < 0 || i >= len(fleet) {
 		panic("cluster: router returned out-of-range instance")
 	}
-	in := c.instances[i]
+	in := c.instanceByID(fleet[i].ID)
 	in.Submitted++
 	in.Engine.Submit(req)
-	return i
+	return in.ID
+}
+
+// autoscale evaluates the policy at one shared-clock tick and applies at
+// most one resize: Grow spins up a fresh cold-store instance via the
+// factory; Shrink marks the least-loaded active instance retiring (ties
+// retire the youngest, so the seed fleet survives longest). Bounds are
+// enforced here, so policies need not know Min/MaxInstances.
+func (c *Cluster) autoscale(nowMS float64) {
+	fleet := c.activeStates()
+	d := c.scaler.Decide(nowMS, fleet)
+	applied := false
+	switch d {
+	case Grow:
+		if len(fleet) >= c.maxInst {
+			break
+		}
+		id := c.nextID
+		c.nextID++
+		e := c.factory(id)
+		if e == nil {
+			panic("cluster: EngineFactory returned nil engine")
+		}
+		// Align the fresh engine's clock with the fleet so its requests
+		// are not timestamped in its pre-spawn past.
+		e.AdvanceClock(nowMS)
+		c.instances = append(c.instances, &Instance{ID: id, Engine: e, StartedMS: nowMS})
+		c.events = append(c.events, ScaleEvent{
+			TimeMS: nowMS, Kind: "grow", Instance: id, ActiveAfter: len(fleet) + 1,
+		})
+		applied = true
+	case Shrink:
+		if len(fleet) <= c.minInst {
+			break
+		}
+		victim := ShrinkVictim(fleet)
+		in := c.instanceByID(victim)
+		in.Retiring = true
+		in.RetiredMS = nowMS
+		c.events = append(c.events, ScaleEvent{
+			TimeMS: nowMS, Kind: "shrink", Instance: victim, ActiveAfter: len(fleet) - 1,
+		})
+		applied = true
+	}
+	NotifyDecision(c.scaler, d, applied)
 }
 
 // nextInstanceEvent returns the earliest per-instance event time and its
@@ -181,9 +342,14 @@ func (c *Cluster) Drain() float64 {
 }
 
 // RunTrace replays an arrival trace (sorted by ArrivalMS) through the
-// pipeline: the shared-clock loop merges arrival events with instance
-// iteration events, processing whichever is earlier and giving cluster
-// events priority on ties, then drains the fleet and aggregates.
+// pipeline: the shared-clock loop merges arrival events, autoscale ticks
+// and instance iteration events, processing whichever is earlier, then
+// drains the fleet and aggregates. Event priority at equal times is
+// arrival → autoscale tick → instance, so routing sees fleet state as of
+// T, the autoscaler observes arrivals at T, and both precede instance
+// work at T. Ticks continue through the final drain (so idle shrink
+// happens) and stop once the trace is exhausted and every instance is
+// drained.
 func (c *Cluster) RunTrace(trace []workload.Request) *Result {
 	next := 0
 	for {
@@ -195,11 +361,21 @@ func (c *Cluster) RunTrace(trace []workload.Request) *Result {
 		if math.IsInf(tArr, 1) && which < 0 {
 			break
 		}
-		if tArr <= tInst {
-			// Cluster-first priority: arrivals at T precede instance
-			// events at T, so routing sees fleet state as of T.
+		tTick := math.Inf(1)
+		if c.scaler != nil {
+			tTick = c.nextTick
+		}
+		if tArr <= tTick && tArr <= tInst {
 			c.Offer(trace[next])
 			next++
+			continue
+		}
+		if tTick <= tInst {
+			if tTick > c.now {
+				c.now = tTick
+			}
+			c.autoscale(tTick)
+			c.nextTick += c.tickMS
 			continue
 		}
 		c.instances[which].Engine.Step(tInst)

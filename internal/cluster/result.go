@@ -9,10 +9,17 @@ import (
 
 // InstanceResult is one replica's aggregated run.
 type InstanceResult struct {
-	// ID is the instance index.
+	// ID is the instance's stable identity.
 	ID int
 	// Submitted counts requests routed to the instance.
 	Submitted int
+	// StartedMS is the cluster time the instance joined the fleet
+	// (0 for the initial fleet).
+	StartedMS float64
+	// Retired reports whether the autoscaler drained the instance away;
+	// RetiredMS is the shrink-decision time.
+	Retired   bool
+	RetiredMS float64
 	// Result is the instance engine's own aggregation.
 	Result *serve.Result
 }
@@ -23,7 +30,10 @@ type InstanceResult struct {
 type Result struct {
 	// Admission and Router name the pipeline policies.
 	Admission, Router string
-	// Instances holds each replica's result, in instance order.
+	// Autoscaler names the fleet-sizing policy ("" when fixed).
+	Autoscaler string
+	// Instances holds each replica's result, in creation (ID) order,
+	// including instances the autoscaler retired.
 	Instances []InstanceResult
 	// Admitted and Rejected count the admission stage's decisions.
 	Admitted, Rejected int
@@ -33,8 +43,22 @@ type Result struct {
 	MeanTTFT, MeanTPOT float64
 	// TTFT, TPOT and E2E are fleet-wide order statistics (ms).
 	TTFT, TPOT, E2E metrics.Summary
-	// HitRate is total expert-cache hits over activations fleet-wide.
+	// Hits and Misses are the fleet totals of the engines' batch-level
+	// expert-cache counts (one per unique expert per layer per
+	// iteration), matching each instance's own Result.HitRate definition.
+	Hits, Misses int
+	// HitRate is Hits / (Hits + Misses) fleet-wide.
 	HitRate float64
+	// ScaleEvents is the autoscaler's resize history in decision order.
+	ScaleEvents []ScaleEvent
+	// PeakInstances is the largest routable fleet size reached.
+	PeakInstances int
+	// InstanceHours is the fleet's provisioned capacity in virtual
+	// instance-hours: each instance counts from when it joined until it
+	// finished draining (retired) or until the fleet makespan (active),
+	// so an autoscaled run that shrinks early costs fewer instance-hours
+	// than a fixed fleet of its peak size.
+	InstanceHours float64
 	// WallClockMS is the fleet makespan: the latest instance clock.
 	WallClockMS float64
 }
@@ -44,17 +68,22 @@ type Result struct {
 // or RunTrace do this).
 func (c *Cluster) Finalize() *Result {
 	res := &Result{
-		Admission: c.admission.Name(),
-		Router:    c.router.Name(),
-		Admitted:  c.admitted,
-		Rejected:  c.rejected,
+		Admission:   c.admission.Name(),
+		Router:      c.router.Name(),
+		Admitted:    c.admitted,
+		Rejected:    c.rejected,
+		ScaleEvents: c.events,
+	}
+	if c.scaler != nil {
+		res.Autoscaler = c.scaler.Name()
 	}
 	var ttfts, tpots, e2es []float64
-	var hits, misses int
 	for _, in := range c.instances {
 		ir := in.Engine.Finalize()
 		res.Instances = append(res.Instances, InstanceResult{
-			ID: in.ID, Submitted: in.Submitted, Result: ir,
+			ID: in.ID, Submitted: in.Submitted,
+			StartedMS: in.StartedMS, Retired: in.Retiring, RetiredMS: in.RetiredMS,
+			Result: ir,
 		})
 		res.Served += len(ir.Requests)
 		for _, q := range ir.Requests {
@@ -63,9 +92,12 @@ func (c *Cluster) Finalize() *Result {
 			if q.OutputTokens > 1 {
 				tpots = append(tpots, q.TPOTms)
 			}
-			hits += q.Hits
-			misses += q.Misses
 		}
+		// Engine-level counts (batch-deduplicated), not per-request sums:
+		// the fleet hit rate must agree with the instances' own HitRate
+		// definition, so a 1-instance cluster reports the engine's rate.
+		res.Hits += ir.Hits
+		res.Misses += ir.Misses
 		if ir.WallClockMS > res.WallClockMS {
 			res.WallClockMS = ir.WallClockMS
 		}
@@ -75,18 +107,43 @@ func (c *Cluster) Finalize() *Result {
 	res.E2E = metrics.Summarize(e2es)
 	res.MeanTTFT = res.TTFT.Mean
 	res.MeanTPOT = res.TPOT.Mean
-	if hits+misses > 0 {
-		res.HitRate = float64(hits) / float64(hits+misses)
+	if res.Hits+res.Misses > 0 {
+		res.HitRate = float64(res.Hits) / float64(res.Hits+res.Misses)
 	} else {
 		res.HitRate = 1
+	}
+	res.PeakInstances = c.initial
+	for _, ev := range c.events {
+		if ev.ActiveAfter > res.PeakInstances {
+			res.PeakInstances = ev.ActiveAfter
+		}
+	}
+	for _, in := range c.instances {
+		end := res.WallClockMS
+		if in.Retiring {
+			// A retired instance stops costing capacity once it has both
+			// been told to drain and finished its last request.
+			end = in.RetiredMS
+			if t := in.Engine.Now(); t > end {
+				end = t
+			}
+		}
+		if span := end - in.StartedMS; span > 0 {
+			res.InstanceHours += span / 3.6e6
+		}
 	}
 	return res
 }
 
 // String renders a one-line fleet summary.
 func (r *Result) String() string {
+	scale := ""
+	if r.Autoscaler != "" {
+		scale = fmt.Sprintf(", %s peak %d (%d resizes), %.4f inst-h",
+			r.Autoscaler, r.PeakInstances, len(r.ScaleEvents), r.InstanceHours)
+	}
 	return fmt.Sprintf(
-		"cluster[%d] %s/%s: served %d, rejected %d, TTFT %.0f ms, TPOT %.1f ms, hit rate %.3f",
+		"cluster[%d] %s/%s: served %d, rejected %d, TTFT %.0f ms, TPOT %.1f ms, hit rate %.3f%s",
 		len(r.Instances), r.Admission, r.Router, r.Served, r.Rejected,
-		r.MeanTTFT, r.MeanTPOT, r.HitRate)
+		r.MeanTTFT, r.MeanTPOT, r.HitRate, scale)
 }

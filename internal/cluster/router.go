@@ -9,25 +9,42 @@ import (
 // instance for an admitted request. Implementations may keep state
 // (round-robin cursors, affinity memories); they are driven sequentially
 // by the cluster's shared-clock loop and need no locking.
+//
+// Resize contract: the fleet may grow or shrink between calls (the
+// autoscaler adds instances and retires others). Entries are always
+// ordered by ascending InstanceState.ID, and an instance's ID is its
+// stable identity across resizes — positions are not. Routers that
+// remember anything across calls must key that memory on ID, never on
+// slice index.
 type Router interface {
 	// Name identifies the policy in results.
 	Name() string
-	// Route returns the target instance index in [0, len(fleet)).
+	// Route returns the target's index in [0, len(fleet)) — an index
+	// into this call's fleet slice, valid only for this call.
 	Route(req workload.Request, nowMS float64, fleet []InstanceState) int
 }
 
-// roundRobin cycles through instances in order.
-type roundRobin struct{ next int }
+// roundRobin cycles through instances in ID order. The cursor tracks the
+// last-routed instance's ID, not its position, so a resize between calls
+// cannot double-route or skip a replica: the next route goes to the
+// lowest ID greater than the cursor, wrapping to the lowest ID present.
+type roundRobin struct{ lastID int }
 
 // NewRoundRobin returns the round-robin router.
-func NewRoundRobin() Router { return &roundRobin{} }
+func NewRoundRobin() Router { return &roundRobin{lastID: -1} }
 
 func (r *roundRobin) Name() string { return "round-robin" }
 
 func (r *roundRobin) Route(_ workload.Request, _ float64, fleet []InstanceState) int {
-	i := r.next % len(fleet)
-	r.next = (r.next + 1) % len(fleet)
-	return i
+	next := 0
+	for i, st := range fleet {
+		if st.ID > r.lastID {
+			next = i
+			break
+		}
+	}
+	r.lastID = fleet[next].ID
+	return next
 }
 
 // load is the routing load signal: queued plus in-flight requests.
@@ -100,25 +117,59 @@ func (o SemanticAffinityOptions) withDefaults() SemanticAffinityOptions {
 // topic migrates with it).
 type semanticAffinity struct {
 	opts      SemanticAffinityOptions
-	centroids [][][]float64 // [instance][k]embedding
+	centroids map[int][][]float64 // instance ID -> centroids; IDs are stable across resizes
+	fleetIDs  []int               // last observed fleet composition, for resize detection
 	fallback  Router
 }
 
 // NewSemanticAffinity returns the FineMoE-aware affinity router.
 func NewSemanticAffinity(opts SemanticAffinityOptions) Router {
-	return &semanticAffinity{opts: opts.withDefaults(), fallback: NewLeastLoaded()}
+	return &semanticAffinity{
+		opts:      opts.withDefaults(),
+		centroids: map[int][][]float64{},
+		fallback:  NewLeastLoaded(),
+	}
 }
 
 func (s *semanticAffinity) Name() string { return "semantic-affinity" }
 
+// sameFleet reports whether the fleet's ID composition matches the last
+// observed one.
+func (s *semanticAffinity) sameFleet(fleet []InstanceState) bool {
+	if len(s.fleetIDs) != len(fleet) {
+		return false
+	}
+	for i, st := range fleet {
+		if s.fleetIDs[i] != st.ID {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *semanticAffinity) Route(req workload.Request, nowMS float64, fleet []InstanceState) int {
-	if len(s.centroids) < len(fleet) {
-		grown := make([][][]float64, len(fleet))
-		copy(grown, s.centroids)
-		s.centroids = grown
+	// On a resize, drop affinity memory of instances no longer in the
+	// fleet (retired by the autoscaler): their topics must migrate, not
+	// stick to an ID a future instance might appear to inherit. The
+	// composition check keeps the sweep off the steady-state hot path.
+	if !s.sameFleet(fleet) {
+		present := make(map[int]bool, len(fleet))
+		for _, st := range fleet {
+			present[st.ID] = true
+		}
+		for id := range s.centroids {
+			if !present[id] {
+				delete(s.centroids, id)
+			}
+		}
+		s.fleetIDs = s.fleetIDs[:0]
+		for _, st := range fleet {
+			s.fleetIDs = append(s.fleetIDs, st.ID)
+		}
 	}
 
-	// Most-affine instance across the fleet.
+	// Most-affine instance across the fleet, scanned in fleet (ID) order
+	// for determinism.
 	bestInst, bestSim := -1, s.opts.MinSim
 	minLoad := fleet[0].load()
 	for _, st := range fleet[1:] {
@@ -130,7 +181,7 @@ func (s *semanticAffinity) Route(req workload.Request, nowMS float64, fleet []In
 		if fleet[i].load() > minLoad+s.opts.LoadSlack {
 			continue // affinity must not defeat load balancing
 		}
-		for _, c := range s.centroids[i] {
+		for _, c := range s.centroids[fleet[i].ID] {
 			if sim := tensor.Cosine(req.Embedding, c); sim > bestSim {
 				bestSim, bestInst = sim, i
 			}
@@ -140,18 +191,18 @@ func (s *semanticAffinity) Route(req workload.Request, nowMS float64, fleet []In
 	if target < 0 {
 		target = s.fallback.Route(req, nowMS, fleet)
 	}
-	s.learn(target, req.Embedding)
+	s.learn(fleet[target].ID, req.Embedding)
 	return target
 }
 
 // learn folds the routed embedding into the target instance's affinity
 // memory: blend into the closest centroid when near-duplicate, else
 // remember it as a new centroid, evicting the oldest beyond the cap.
-func (s *semanticAffinity) learn(inst int, emb []float64) {
+func (s *semanticAffinity) learn(id int, emb []float64) {
 	if len(emb) == 0 {
 		return
 	}
-	cs := s.centroids[inst]
+	cs := s.centroids[id]
 	closest, closestSim := -1, s.opts.MergeSim
 	for k, c := range cs {
 		if sim := tensor.Cosine(emb, c); sim >= closestSim {
@@ -165,7 +216,12 @@ func (s *semanticAffinity) learn(inst int, emb []float64) {
 	}
 	cs = append(cs, tensor.Copy(emb))
 	if len(cs) > s.opts.MaxCentroids {
-		cs = cs[1:]
+		// Compact in place rather than reslicing: cs = cs[1:] would keep
+		// the evicted embedding reachable through the backing array, a
+		// leak that grows for the lifetime of a long-running fleet.
+		copy(cs, cs[1:])
+		cs[len(cs)-1] = nil
+		cs = cs[:len(cs)-1]
 	}
-	s.centroids[inst] = cs
+	s.centroids[id] = cs
 }

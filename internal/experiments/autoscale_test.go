@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestAutoscaleFigAcceptance pins the autoscaling redesign's acceptance
+// bar: the elastic fleet must track the fixed 4-instance fleet's p99
+// TTFT (within 10%) at 4x load while paying fewer instance-hours than it
+// at 1x load, and the sweep must exercise real shrink events.
+func TestAutoscaleFigAcceptance(t *testing.T) {
+	out, err := Run(smallCtx(), "autoscalefig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	rows := out.Table.Rows()
+	iLoad, iFleet := col(t, h, "load_mult"), col(t, h, "fleet")
+	iP99, iHours := col(t, h, "p99_ttft_s"), col(t, h, "instance_hours")
+	iShrinks := col(t, h, "shrinks")
+
+	type entry struct{ p99, hours, shrinks float64 }
+	byKey := map[string]entry{}
+	for _, r := range rows {
+		byKey[r[iLoad]+"/"+r[iFleet]] = entry{
+			p99:     cell(t, r[iP99]),
+			hours:   cell(t, r[iHours]),
+			shrinks: cell(t, r[iShrinks]),
+		}
+	}
+	need := func(key string) entry {
+		e, ok := byKey[key]
+		if !ok {
+			t.Fatalf("row %q missing from autoscalefig table", key)
+		}
+		return e
+	}
+
+	// Latency: elastic capacity matches the big fixed fleet's tail at
+	// the highest load.
+	auto4, fixed4 := need("4x/autoscaled"), need("4x/fixed-4")
+	if auto4.p99 > fixed4.p99*1.10 {
+		t.Errorf("4x load: autoscaled p99 TTFT %.3fs exceeds 110%% of fixed-4's %.3fs",
+			auto4.p99, fixed4.p99)
+	}
+
+	// Cost: at low load the elastic fleet provisions less than the big
+	// fixed fleet.
+	auto1, fixed1x4 := need("1x/autoscaled"), need("1x/fixed-4")
+	if auto1.hours >= fixed1x4.hours {
+		t.Errorf("1x load: autoscaled instance-hours %.5f not below fixed-4's %.5f",
+			auto1.hours, fixed1x4.hours)
+	}
+
+	// The sweep must exercise the shrink path, not just growth.
+	totalShrinks := 0.0
+	for _, load := range []string{"1x", "2x", "4x"} {
+		totalShrinks += need(load + "/autoscaled").shrinks
+	}
+	if totalShrinks == 0 {
+		t.Error("no shrink events across the sweep: scale-down path unexercised")
+	}
+}
+
+// TestAutoscaleFigDeterminism: the experiment is reproducible row for
+// row — scale events included — for a fixed seed.
+func TestAutoscaleFigDeterminism(t *testing.T) {
+	a, err := Run(smallCtx(), "autoscalefig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallCtx(), "autoscalefig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatalf("autoscalefig not deterministic:\n%s\nvs\n%s",
+			a.Table.String(), b.Table.String())
+	}
+}

@@ -38,11 +38,11 @@ func clusterRouters() []struct {
 	}
 }
 
-// clusterEngines builds a fresh fleet of FineMoE instances with empty
+// clusterEngines builds a fresh fleet of n FineMoE instances with empty
 // Expert Map Stores (the online protocol: stores warm as the trace flows,
 // so routing decides which instance learns which prompts).
-func clusterEngines(c *Context, cfg moe.Config) []*serve.Engine {
-	engines := make([]*serve.Engine, clusterInstances)
+func clusterEngines(c *Context, cfg moe.Config, n int) []*serve.Engine {
+	engines := make([]*serve.Engine, n)
 	for i := range engines {
 		pol := core.NewFineMoE(
 			core.NewStore(cfg, c.Scale.StoreCapacity, cfg.OptimalPrefetchDistance),
@@ -81,7 +81,7 @@ func runClusterFig(c *Context) (*Output, error) {
 		trace := clusterTrace(c, cfg, mult)
 		for _, r := range clusterRouters() {
 			cl := cluster.New(cluster.Options{
-				Engines:   clusterEngines(c, cfg),
+				Engines:   clusterEngines(c, cfg, clusterInstances),
 				Admission: cluster.NewAlwaysAdmit(),
 				Router:    r.mk(),
 			})

@@ -4,7 +4,9 @@
 // one of N serving instances, and each instance's Expert Map Store starts
 // empty and warms up as requests flow, so successive requests see
 // improving hit rates and latency, mirroring the paper's online-serving
-// behaviour (§6.3).
+// behaviour (§6.3). An optional autoscaler resizes the fleet on queue
+// pressure: grown instances join the routable set immediately, retired
+// ones finish their in-flight work but receive no further routes.
 //
 // Locking is two-level: a short-held server mutex covers the admission and
 // routing decision plus cumulative statistics, and each instance has its
@@ -51,6 +53,15 @@ type Config struct {
 	Admission cluster.Admission
 	// Router places admitted requests (nil = least-loaded).
 	Router cluster.Router
+	// Autoscaler, when non-nil, resizes the fleet on queue pressure:
+	// it is evaluated at each admitted arrival (the serving analogue of
+	// the cluster's shared-clock tick) and may add a fresh instance or
+	// retire one. Retired instances finish their in-flight work but
+	// receive no further routes.
+	Autoscaler cluster.Autoscaler
+	// MinInstances / MaxInstances bound the autoscaled fleet
+	// (defaults: 1 and 4× Instances).
+	MinInstances, MaxInstances int
 	// Dataset provides the topic space for synthetic prompts.
 	Dataset workload.Dataset
 }
@@ -71,15 +82,19 @@ type instance struct {
 // Server simulates serving over a fleet of instances behind the
 // admission → routing pipeline.
 type Server struct {
-	cfg       moe.Config
-	dataset   workload.Dataset
-	instances []*instance
+	cfg     moe.Config
+	conf    Config // defaults applied; the template for scale-up instances
+	dataset workload.Dataset
 
-	// mu guards the pipeline decision and the cumulative counters below;
-	// it is never held across a simulated run.
+	// mu guards the pipeline decision, the fleet shape (instances /
+	// retired / inflight / completed grow together), and the cumulative
+	// counters below; it is never held across a simulated run.
 	mu        sync.Mutex
+	instances []*instance
+	retired   []bool
 	admission cluster.Admission
 	router    cluster.Router
+	scaler    cluster.Autoscaler
 	nextID    uint64
 	inflight  []int
 	completed []int
@@ -111,27 +126,84 @@ func New(c Config) *Server {
 	if c.Router == nil {
 		c.Router = cluster.NewLeastLoaded()
 	}
+	if c.MinInstances <= 0 {
+		c.MinInstances = 1
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 4 * c.Instances
+	}
+	if c.MaxInstances < c.MinInstances {
+		c.MaxInstances = c.MinInstances
+	}
 	if c.Dataset.Name == "" {
 		c.Dataset = workload.LMSYSChat1M()
 	}
 	s := &Server{
-		cfg: c.Model, dataset: c.Dataset,
-		admission: c.Admission, router: c.Router,
-		inflight:  make([]int, c.Instances),
-		completed: make([]int, c.Instances),
+		cfg: c.Model, conf: c, dataset: c.Dataset,
+		admission: c.Admission, router: c.Router, scaler: c.Autoscaler,
 	}
 	for i := 0; i < c.Instances; i++ {
-		// Each instance gets its own simulated gate network (same seed =
-		// same model weights), policy, store, and cache.
-		model := moe.NewModel(c.Model, c.Seed)
-		pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
-		eng := serve.New(serve.Options{
-			Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
-			CacheBytes: c.CacheBytes, Policy: pol,
-		})
-		s.instances = append(s.instances, &instance{engine: eng, policy: pol})
+		s.addInstanceLocked()
 	}
 	return s
+}
+
+// addInstanceLocked appends a fresh serving replica: its own simulated
+// gate network (same seed = same model weights), policy, store, and
+// cache. Caller holds s.mu (or is still constructing the server).
+func (s *Server) addInstanceLocked() {
+	c := s.conf
+	model := moe.NewModel(c.Model, c.Seed)
+	pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
+	eng := serve.New(serve.Options{
+		Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
+		CacheBytes: c.CacheBytes, Policy: pol,
+	})
+	s.instances = append(s.instances, &instance{engine: eng, policy: pol})
+	s.retired = append(s.retired, false)
+	s.inflight = append(s.inflight, 0)
+	s.completed = append(s.completed, 0)
+}
+
+// maybeScaleLocked evaluates the autoscaler against the routable fleet at
+// the fleet clock and applies at most one resize. A grow first reactivates
+// a drained retired replica (warm pool) before allocating a fresh one, so
+// a long-running server's total instance count stays bounded however the
+// load oscillates. Caller holds s.mu.
+func (s *Server) maybeScaleLocked(fleet []cluster.InstanceState) {
+	if s.scaler == nil {
+		return
+	}
+	d := s.scaler.Decide(s.vnow, fleet)
+	applied := false
+	switch d {
+	case cluster.Grow:
+		if len(fleet) >= s.conf.MaxInstances {
+			break
+		}
+		reused := false
+		for i := range s.instances {
+			if s.retired[i] && s.inflight[i] == 0 {
+				s.retired[i] = false
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			s.addInstanceLocked()
+		}
+		applied = true
+	case cluster.Shrink:
+		if len(fleet) <= s.conf.MinInstances {
+			break
+		}
+		// fleetStates carries each replica's whole load in QueueDepth, so
+		// the shared victim selection sees the same signal the cluster's
+		// shared-clock orchestrator does.
+		s.retired[cluster.ShrinkVictim(fleet)] = true
+		applied = true
+	}
+	cluster.NotifyDecision(s.scaler, d, applied)
 }
 
 // GenerateRequest is the POST /v1/generate body.
@@ -167,6 +239,7 @@ type InstanceStats struct {
 	ID          int     `json:"id"`
 	Served      int     `json:"served_requests"`
 	QueueDepth  int     `json:"queue_depth"`
+	Retired     bool    `json:"retired"`
 	HitRate     float64 `json:"hit_rate"`
 	MeanTTFTms  float64 `json:"mean_ttft_ms"`
 	StoreSize   int     `json:"store_size"`
@@ -179,6 +252,7 @@ type StatsResponse struct {
 	Admitted    int             `json:"admitted_requests"`
 	Rejected    int             `json:"rejected_requests"`
 	QueueDepth  int             `json:"queue_depth"`
+	Active      int             `json:"active_instances"`
 	MeanTTFTms  float64         `json:"mean_ttft_ms"`
 	MeanTPOTms  float64         `json:"mean_tpot_ms"`
 	HitRate     float64         `json:"hit_rate"`
@@ -193,17 +267,21 @@ type StatsResponse struct {
 // ErrRejected reports a request shed by the admission policy.
 var ErrRejected = fmt.Errorf("httpserve: admission rejected request")
 
-// fleetStates snapshots the routing view. Caller holds s.mu; only
-// server-side counters are read, keeping s.mu disjoint from the instance
-// locks (a routed-but-unfinished request is the queue signal, since the
-// demo serves synchronously).
+// fleetStates snapshots the routing view: the non-retired fleet, with
+// each entry's ID the instance's stable index in s.instances. Caller
+// holds s.mu; only server-side counters are read, keeping s.mu disjoint
+// from the instance locks (a routed-but-unfinished request is the queue
+// signal, since the demo serves synchronously).
 func (s *Server) fleetStates() []cluster.InstanceState {
-	out := make([]cluster.InstanceState, len(s.instances))
+	out := make([]cluster.InstanceState, 0, len(s.instances))
 	for i := range s.instances {
-		out[i] = cluster.InstanceState{
+		if s.retired[i] {
+			continue
+		}
+		out = append(out, cluster.InstanceState{
 			ID: i, QueueDepth: s.inflight[i], Completed: s.completed[i],
 			Submitted: s.inflight[i] + s.completed[i],
-		}
+		})
 	}
 	return out
 }
@@ -248,15 +326,35 @@ func (s *Server) Generate(req GenerateRequest) (GenerateResponse, error) {
 		return GenerateResponse{RequestID: id, Topic: topic, Instance: -1}, ErrRejected
 	}
 	s.admitted++
-	target := s.router.Route(wreq, s.vnow, fleet)
+	s.maybeScaleLocked(fleet)
+	// The autoscaler may have grown the fleet; route over the fresh view
+	// so a scale-up instance is immediately routable.
+	if s.scaler != nil {
+		fleet = s.fleetStates()
+	}
+	ri := s.router.Route(wreq, s.vnow, fleet)
+	if ri < 0 || ri >= len(fleet) {
+		panic("httpserve: router returned out-of-range instance")
+	}
+	target := fleet[ri].ID
 	s.inflight[target]++
+	in := s.instances[target]
+	fleetNow := s.vnow
 	s.mu.Unlock()
 
 	// Stage 3: the instance simulates the request under its own lock, so
-	// requests on different instances run concurrently.
-	in := s.instances[target]
+	// requests on different instances run concurrently. The arrival is
+	// stamped at the later of the fleet clock (the admission timeline)
+	// and the instance clock, and the instance clock is advanced to it,
+	// so TTFT includes cross-instance queueing and admission's
+	// token-bucket refill sees the same timeline the engines do.
 	in.mu.Lock()
-	wreq.ArrivalMS = in.engine.Now()
+	arrival := in.engine.Now()
+	if fleetNow > arrival {
+		arrival = fleetNow
+		in.engine.AdvanceClock(arrival)
+	}
+	wreq.ArrivalMS = arrival
 	in.engine.Submit(wreq)
 	in.engine.Drain()
 	// TakeCompleted (not Completed) so a long-running server does not
@@ -298,16 +396,21 @@ func (s *Server) Stats() StatsResponse {
 		Admission: s.admission.Name(),
 		Router:    s.router.Name(),
 	}
+	instances := append([]*instance(nil), s.instances...)
 	inflight := append([]int(nil), s.inflight...)
+	retired := append([]bool(nil), s.retired...)
 	s.mu.Unlock()
 
 	var sumTTFT, sumTPOT float64
 	var hits, misses int
-	for i, in := range s.instances {
+	for i, in := range instances {
 		in.mu.Lock()
 		is := InstanceStats{
-			ID: i, Served: in.served, QueueDepth: inflight[i],
+			ID: i, Served: in.served, QueueDepth: inflight[i], Retired: retired[i],
 			StoreSize: in.policy.Store().Len(), VirtualTime: in.now,
+		}
+		if !retired[i] {
+			st.Active++
 		}
 		if in.served > 0 {
 			is.MeanTTFTms = in.sumTTFT / float64(in.served)
@@ -341,8 +444,11 @@ func (s *Server) Stats() StatsResponse {
 
 // ConfigInfo describes the deployment for GET /v1/config.
 func (s *Server) ConfigInfo() map[string]any {
+	s.mu.Lock()
 	pol := s.instances[0].policy
-	return map[string]any{
+	n := len(s.instances)
+	s.mu.Unlock()
+	info := map[string]any{
 		"model":             s.cfg.Name,
 		"layers":            s.cfg.Layers,
 		"experts_per_layer": s.cfg.RoutedExperts,
@@ -350,10 +456,16 @@ func (s *Server) ConfigInfo() map[string]any {
 		"prefetch_distance": pol.PrefetchDistance(),
 		"store_capacity":    pol.Store().Capacity(),
 		"dataset":           s.dataset.Name,
-		"instances":         len(s.instances),
+		"instances":         n,
 		"admission":         s.admission.Name(),
 		"router":            s.router.Name(),
 	}
+	if s.scaler != nil {
+		info["autoscaler"] = s.scaler.Name()
+		info["min_instances"] = s.conf.MinInstances
+		info["max_instances"] = s.conf.MaxInstances
+	}
+	return info
 }
 
 // Handler returns the HTTP mux serving the /v1 API.
@@ -403,7 +515,10 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "instances": len(s.instances)})
+	s.mu.Lock()
+	n := len(s.instances)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"status": "ok", "instances": n})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -241,6 +241,108 @@ func TestMultiInstanceRoutingAndStats(t *testing.T) {
 	}
 }
 
+// TestArrivalsStampedOnFleetClock pins the clock-mismatch fix: a request
+// routed to a cold instance is stamped at the fleet clock (the admission
+// timeline), not the instance's private past, so its virtual completion
+// time can never precede work the fleet already finished elsewhere.
+func TestArrivalsStampedOnFleetClock(t *testing.T) {
+	s := testServer()
+	first, err := s.Generate(GenerateRequest{PromptTopic: 0, InputTokens: 6, OutputTokens: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second request lands on the other (still cold, clock-at-zero)
+	// instance: least-loaded ties break toward the less-routed replica.
+	second, err := s.Generate(GenerateRequest{PromptTopic: 1, InputTokens: 6, OutputTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Instance == first.Instance {
+		t.Fatalf("both requests on instance %d; want the cold replica", first.Instance)
+	}
+	if second.VirtualTime <= first.VirtualTime {
+		t.Fatalf("cold instance served at virtual %.1f ms, before fleet clock %.1f ms: arrival not stamped at max(fleet, instance)",
+			second.VirtualTime, first.VirtualTime)
+	}
+}
+
+// scriptedScaler replays a fixed decision sequence, then holds.
+type scriptedScaler struct {
+	seq  []cluster.Decision
+	next int
+}
+
+func (s *scriptedScaler) Name() string { return "scripted" }
+
+func (s *scriptedScaler) Decide(float64, []cluster.InstanceState) cluster.Decision {
+	if s.next >= len(s.seq) {
+		return cluster.Hold
+	}
+	d := s.seq[s.next]
+	s.next++
+	return d
+}
+
+func TestAutoscaleGrowsAndRetiresInstances(t *testing.T) {
+	ds := workload.LMSYSChat1M()
+	ds.Topics = 6
+	s := New(Config{
+		Model: moe.Tiny(), Seed: 1, GPU: memsim.RTX3090(), NumGPUs: 2,
+		StoreCapacity: 100, Instances: 1, Dataset: ds,
+		Autoscaler:   &scriptedScaler{seq: []cluster.Decision{cluster.Grow, cluster.Shrink, cluster.Grow}},
+		MinInstances: 1, MaxInstances: 2,
+	})
+
+	// First arrival triggers the grow; the fleet must have two routable
+	// instances when the request is placed.
+	if _, err := s.Generate(GenerateRequest{PromptTopic: 0, InputTokens: 6, OutputTokens: 6}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Instances) != 2 || st.Active != 2 {
+		t.Fatalf("after grow: %d instances, %d active, want 2/2", len(st.Instances), st.Active)
+	}
+
+	// Second arrival triggers the shrink: the idle newest replica
+	// retires but stays in stats; routing continues on the survivor.
+	out, err := s.Generate(GenerateRequest{PromptTopic: 0, InputTokens: 6, OutputTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if len(st.Instances) != 2 || st.Active != 1 {
+		t.Fatalf("after shrink: %d instances, %d active, want 2/1", len(st.Instances), st.Active)
+	}
+	if !st.Instances[1].Retired || st.Instances[0].Retired {
+		t.Fatalf("wrong retiree: %+v", st.Instances)
+	}
+	if out.Instance != 0 {
+		t.Fatalf("post-shrink request routed to %d, want surviving instance 0", out.Instance)
+	}
+	if st.Served != 2 || st.Admitted != 2 {
+		t.Fatalf("fleet accounting after resize: %+v", st)
+	}
+
+	info := s.ConfigInfo()
+	if info["autoscaler"] != "scripted" || info["min_instances"] != 1 || info["max_instances"] != 2 {
+		t.Fatalf("autoscaler config not exposed: %v", info)
+	}
+
+	// Third arrival triggers another grow: the drained retired replica is
+	// reactivated (warm pool) instead of allocating a fresh instance, so
+	// oscillating load cannot grow the server's memory without bound.
+	if _, err := s.Generate(GenerateRequest{PromptTopic: 0, InputTokens: 6, OutputTokens: 6}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if len(st.Instances) != 2 || st.Active != 2 {
+		t.Fatalf("after regrow: %d instances, %d active, want reuse (2/2)", len(st.Instances), st.Active)
+	}
+	if st.Instances[0].Retired || st.Instances[1].Retired {
+		t.Fatalf("regrow left a retired flag set: %+v", st.Instances)
+	}
+}
+
 func TestAdmissionRejectionOver429(t *testing.T) {
 	ds := workload.LMSYSChat1M()
 	ds.Topics = 6

@@ -77,7 +77,13 @@ type Result struct {
 	MeanTTFT, MeanTPOT float64
 	// Latency order statistics across requests (ms).
 	TTFT, TPOT, E2E metrics.Summary
-	// HitRate is total hits / activations across the run.
+	// Hits and Misses are the engine-level expert-cache counts: one per
+	// unique activated expert per layer per iteration (batch members
+	// sharing an expert count it once). Per-request RequestMetrics
+	// hits/misses are NOT deduplicated across the batch, so their sums
+	// can exceed these totals.
+	Hits, Misses int
+	// HitRate is Hits / (Hits + Misses) across the run.
 	HitRate float64
 	// Breakdown maps component -> mean ms per iteration (Fig. 17).
 	Breakdown  map[string]float64
@@ -427,6 +433,8 @@ func (e *Engine) finalize(reqs []RequestMetrics, wallClock float64) *Result {
 	res.E2E = metrics.Summarize(e2es)
 	res.MeanTTFT = res.TTFT.Mean
 	res.MeanTPOT = res.TPOT.Mean
+	res.Hits = e.hits
+	res.Misses = e.misses
 	if e.hits+e.misses > 0 {
 		res.HitRate = float64(e.hits) / float64(e.hits+e.misses)
 	} else {
@@ -476,6 +484,19 @@ func (e *Engine) SubmitTraced(req workload.Request, iters []*moe.Iteration) {
 
 // Now returns the engine's virtual clock (ms).
 func (e *Engine) Now() float64 { return e.now }
+
+// AdvanceClock moves the engine's virtual clock forward to now (a no-op
+// when now is not ahead of it), completing any in-flight transfers due by
+// then. Orchestrators use it to align a quiescent instance with a
+// fleet-level clock before submitting work; call it only between
+// iterations (the engine must not be mid-batch in a Step).
+func (e *Engine) AdvanceClock(now float64) {
+	if now <= e.now {
+		return
+	}
+	e.drain(now)
+	e.now = now
+}
 
 // QueueDepth reports submitted requests not yet admitted to the batch.
 func (e *Engine) QueueDepth() int { return len(e.pending) }

@@ -205,6 +205,9 @@ type TraceConfig struct {
 	N int
 	// Seed drives arrival sampling.
 	Seed uint64
+	// IDBase offsets request IDs (0 = the 1<<32 default), letting callers
+	// concatenate traces without ID collisions.
+	IDBase uint64
 }
 
 // AzureTrace samples an online trace: dataset prompts with exponential
@@ -213,7 +216,11 @@ func AzureTrace(d Dataset, dim int, tc TraceConfig) []Request {
 	if tc.RatePerSec <= 0 {
 		panic("workload: non-positive arrival rate")
 	}
-	reqs := d.Sample(Options{Dim: dim, N: tc.N, Seed: tc.Seed, IDBase: 1 << 32})
+	base := tc.IDBase
+	if base == 0 {
+		base = 1 << 32
+	}
+	reqs := d.Sample(Options{Dim: dim, N: tc.N, Seed: tc.Seed, IDBase: base})
 	r := rng.New(rng.Mix(d.Seed, tc.Seed, 0xA22E))
 	var t float64
 	for i := range reqs {
