@@ -10,11 +10,14 @@
 //	finemoe-bench -exp fig18 -csv
 //
 // Experiment IDs match DESIGN.md §3 (tab1, fig1b, fig3a–fig4, fig8–fig18,
-// abl-sync, abl-ep, abl-dedup), plus extensions beyond the paper such as
-// clusterfig — the cluster router comparison (round-robin vs least-loaded
-// vs semantic affinity on a 4-instance fleet under an Azure-trace load
-// sweep). The "full" scale uses the paper's workload parameters; "small"
-// is a fast smoke configuration.
+// abl-sync, abl-ep, abl-dedup), plus extensions beyond the paper:
+// clusterfig (the cluster router comparison under an Azure-trace load
+// sweep), autoscalefig (fixed fleets vs queue-pressure autoscaling), and
+// scenariofig (the scenario gauntlet: Poisson/MMPP/diurnal/flash-crowd
+// arrivals, closed-loop multi-turn sessions, and a two-tenant mix across
+// fixed round-robin and autoscaled semantic-affinity fleets). The "full"
+// scale uses the paper's workload parameters; "small" is a fast smoke
+// configuration.
 package main
 
 import (

@@ -31,6 +31,16 @@
 // in-flight work but receive no further routes:
 //
 //	finemoe-serve -model mixtral -instances 1 -autoscale -min-instances 1 -max-instances 8
+//
+// With -replay N the server does not listen at all: it generates N
+// synthetic requests on the arrival process named by -arrival (poisson,
+// mmpp, diurnal, flash — see internal/workload presets) at -arrival-rate
+// req/s, replays them through the same admission → routing → instance
+// pipeline the HTTP path uses, prints the scenario report, and exits —
+// a one-command load rehearsal for a fleet configuration:
+//
+//	finemoe-serve -model tiny -instances 2 -router semantic -autoscale \
+//	  -replay 64 -arrival mmpp -arrival-rate 8
 package main
 
 import (
@@ -45,6 +55,8 @@ import (
 	"finemoe/internal/httpserve"
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
+	"finemoe/internal/scenarios"
+	"finemoe/internal/workload"
 )
 
 func modelByName(name string) (moe.Config, error) {
@@ -61,28 +73,14 @@ func modelByName(name string) (moe.Config, error) {
 	return moe.Config{}, fmt.Errorf("unknown model %q (mixtral|qwen|phi|tiny)", name)
 }
 
+// admissionByName and routerByName delegate to the scenarios resolvers so
+// the HTTP path and -replay mode share one name-to-policy table.
 func admissionByName(name string, burst, rate float64) (cluster.Admission, error) {
-	switch strings.ToLower(name) {
-	case "always", "always-admit":
-		return cluster.NewAlwaysAdmit(), nil
-	case "token-bucket":
-		return cluster.NewTokenBucket(burst, rate), nil
-	case "reject-all":
-		return cluster.NewRejectAll(), nil
-	}
-	return nil, fmt.Errorf("unknown admission %q (always|token-bucket|reject-all)", name)
+	return scenarios.NewAdmission(strings.ToLower(name), burst, rate)
 }
 
 func routerByName(name string) (cluster.Router, error) {
-	switch strings.ToLower(name) {
-	case "round-robin":
-		return cluster.NewRoundRobin(), nil
-	case "least-loaded":
-		return cluster.NewLeastLoaded(), nil
-	case "semantic", "semantic-affinity":
-		return cluster.NewSemanticAffinity(cluster.SemanticAffinityOptions{}), nil
-	}
-	return nil, fmt.Errorf("unknown router %q (round-robin|least-loaded|semantic)", name)
+	return scenarios.NewRouter(strings.ToLower(name))
 }
 
 func main() {
@@ -100,6 +98,9 @@ func main() {
 		autoscale  = flag.Bool("autoscale", false, "resize the fleet on queue pressure (grow under load, retire idle instances)")
 		minInst    = flag.Int("min-instances", 1, "autoscaling floor (with -autoscale)")
 		maxInst    = flag.Int("max-instances", 8, "autoscaling ceiling (with -autoscale)")
+		replayN    = flag.Int("replay", 0, "replay N synthetic requests through the pipeline and exit instead of serving")
+		arrival    = flag.String("arrival", "poisson", "replay arrival process: poisson|mmpp|diurnal|flash (with -replay)")
+		arrRate    = flag.Float64("arrival-rate", 2.91, "replay mean arrival rate in req/s (with -replay)")
 	)
 	flag.Parse()
 
@@ -122,6 +123,40 @@ func main() {
 	if *cacheGB > 0 {
 		cacheBytes = int64(*cacheGB * float64(int64(1)<<30))
 	}
+	if *replayN > 0 {
+		ap, err := workload.ArrivalByName(strings.ToLower(*arrival), *arrRate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runner := scenarios.NewRunner(scenarios.Options{
+			Model: cfg, GPU: memsim.RTX3090(), NumGPUs: *gpus, Seed: *seed,
+			CacheBytes: cacheBytes,
+		})
+		rep, err := runner.Run(scenarios.Scenario{
+			Name: "replay",
+			Workload: scenarios.WorkloadSpec{
+				Dataset:  workload.LMSYSChat1M(),
+				Arrivals: ap,
+				Requests: *replayN,
+			},
+			Fleet: scenarios.FleetSpec{
+				Instances:  *instances,
+				Router:     strings.ToLower(*routerArg),
+				Admission:  strings.ToLower(*admitArg),
+				AdmitBurst: *admitBurst, AdmitRate: *admitRate,
+				Autoscale:    *autoscale,
+				MinInstances: *minInst, MaxInstances: *maxInst,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		return
+	}
+
 	var scaler cluster.Autoscaler
 	if *autoscale {
 		scaler = cluster.NewQueuePressure(cluster.QueuePressureOptions{})

@@ -72,6 +72,7 @@ import (
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
 	"finemoe/internal/policy"
+	"finemoe/internal/scenarios"
 	"finemoe/internal/serve"
 	"finemoe/internal/workload"
 )
@@ -138,6 +139,60 @@ func SplitRequests(reqs []Request, storeFrac float64) (store, test []Request) {
 // AzureTrace samples an online trace with Poisson arrivals.
 func AzureTrace(d Dataset, dim int, tc TraceConfig) []Request {
 	return workload.AzureTrace(d, dim, tc)
+}
+
+// ArrivalProcess generates an online trace's arrival timeline; PoissonArrivals,
+// MMPPArrivals, DiurnalArrivals and FlashCrowdArrivals implement it.
+type ArrivalProcess = workload.ArrivalProcess
+
+// PoissonArrivals is the constant-rate memoryless process (the paper's §6.3).
+type PoissonArrivals = workload.Poisson
+
+// MMPPArrivals is the two-state bursty Markov-modulated Poisson process.
+type MMPPArrivals = workload.MMPP
+
+// DiurnalArrivals is the sinusoidally rate-modulated process.
+type DiurnalArrivals = workload.Diurnal
+
+// FlashCrowdArrivals is the step-spike-with-decay process.
+type FlashCrowdArrivals = workload.FlashCrowd
+
+// BurstyMMPP returns the bursty preset with mean rate ratePerSec.
+func BurstyMMPP(ratePerSec float64) MMPPArrivals { return workload.BurstyMMPP(ratePerSec) }
+
+// DiurnalSwing returns the diurnal preset with mean rate ratePerSec.
+func DiurnalSwing(ratePerSec float64) DiurnalArrivals { return workload.DiurnalSwing(ratePerSec) }
+
+// FlashSpike returns the flash-crowd preset with background rate ratePerSec.
+func FlashSpike(ratePerSec float64) FlashCrowdArrivals { return workload.FlashSpike(ratePerSec) }
+
+// OnlineTraceOptions parameterizes trace generation over any arrival process.
+type OnlineTraceOptions = workload.OnlineOptions
+
+// OnlineTrace samples an online trace on the configured arrival process.
+func OnlineTrace(d Dataset, dim int, opt OnlineTraceOptions) []Request {
+	return workload.OnlineTrace(d, dim, opt)
+}
+
+// SessionConfig shapes closed-loop multi-turn session workloads.
+type SessionConfig = workload.SessionConfig
+
+// Sessions generates multi-turn session workloads: opening turns on an
+// arrival process, semantically close follow-ups after each completion
+// (drive them through ClusterOptions.FollowUp).
+type Sessions = workload.Sessions
+
+// NewSessions builds a session generator over a dataset.
+func NewSessions(d Dataset, dim int, cfg SessionConfig, seed uint64) *Sessions {
+	return workload.NewSessions(d, dim, cfg, seed)
+}
+
+// TenantSpec describes one tenant of a multi-tenant trace mix.
+type TenantSpec = workload.TenantSpec
+
+// MultiTenantTrace merges per-tenant traces into one arrival-ordered stream.
+func MultiTenantTrace(dim int, seed uint64, tenants []TenantSpec) []Request {
+	return workload.MultiTenantTrace(dim, seed, tenants)
 }
 
 // --- Hardware -----------------------------------------------------------------
@@ -335,6 +390,33 @@ func NewLeastLoaded() Router { return cluster.NewLeastLoaded() }
 func NewSemanticAffinity(opts SemanticAffinityOptions) Router {
 	return cluster.NewSemanticAffinity(opts)
 }
+
+// --- Scenarios ---------------------------------------------------------------
+
+// Scenario is one cell of the scenario gauntlet: a named workload shape ×
+// fleet configuration pairing.
+type Scenario = scenarios.Scenario
+
+// ScenarioWorkload declares a scenario's traffic: arrival process,
+// closed-loop sessions, or a multi-tenant mix.
+type ScenarioWorkload = scenarios.WorkloadSpec
+
+// ScenarioFleet declares a scenario's serving side by policy name.
+type ScenarioFleet = scenarios.FleetSpec
+
+// ScenarioOptions configures a ScenarioRunner's model and testbed.
+type ScenarioOptions = scenarios.Options
+
+// ScenarioRunner sweeps scenarios through the cluster pipeline.
+type ScenarioRunner = scenarios.Runner
+
+// ScenarioReport is one scenario's comparable, deterministically
+// serializable outcome.
+type ScenarioReport = scenarios.Report
+
+// NewScenarioRunner builds a runner; every scenario it runs shares the
+// same model and testbed, so reports are comparable.
+func NewScenarioRunner(opts ScenarioOptions) *ScenarioRunner { return scenarios.NewRunner(opts) }
 
 // --- Experiment harness ------------------------------------------------------------
 

@@ -418,3 +418,26 @@ func TestSingleInstanceFleetHitRateMatchesEngine(t *testing.T) {
 		t.Fatal("degenerate run: no expert activity")
 	}
 }
+
+// TestAutoscaleViaOfferDrain: the Offer+Drain path honors the autoscaler
+// exactly like RunTrace — a burst offered up front must still grow the
+// fleet during the drain, and the idle tail must shrink it (regression:
+// Drain used to skip autoscale ticks entirely).
+func TestAutoscaleViaOfferDrain(t *testing.T) {
+	m := moe.NewModel(moe.Tiny(), 7)
+	c := autoscaledCluster(m)
+	for _, q := range testTrace(m.Cfg, 24, 50, 3) {
+		c.Offer(q)
+	}
+	c.Drain()
+	res := c.Finalize()
+	if len(res.ScaleEvents) == 0 {
+		t.Fatal("no scale events on the Offer+Drain path")
+	}
+	if res.PeakInstances < 2 {
+		t.Fatalf("burst did not grow the fleet during drain: peak %d", res.PeakInstances)
+	}
+	if res.Served != 24 {
+		t.Fatalf("served %d, want 24", res.Served)
+	}
+}

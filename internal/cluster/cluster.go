@@ -39,6 +39,10 @@ type Instance struct {
 	// RetiredMS is the cluster time of the shrink decision (meaningful
 	// only when Retiring).
 	RetiredMS float64
+
+	// observed is the prefix of the engine's completion history the
+	// cluster has already consulted for follow-up injection.
+	observed int
 }
 
 // State snapshots the instance's load view for admission and routing.
@@ -100,6 +104,14 @@ type Options struct {
 	// AutoscaleIntervalMS spaces autoscale ticks on the shared clock
 	// (default 500 ms).
 	AutoscaleIntervalMS float64
+	// FollowUp, when non-nil, closes the workload loop: it is consulted
+	// once per completed request with the completion metrics and the
+	// original request, and may return a follow-up request to inject into
+	// the arrival stream (ok=false ends the thread). Injected arrivals
+	// pass through admission and routing like trace arrivals; arrival
+	// times before the parent's completion are clamped forward to it.
+	// Multi-turn session workloads ride on this hook (workload.Sessions).
+	FollowUp func(done serve.RequestMetrics, orig workload.Request) (workload.Request, bool)
 }
 
 // Cluster is a fleet of serving instances sharing one virtual clock.
@@ -117,6 +129,17 @@ type Cluster struct {
 	nextID   int
 	initial  int
 	events   []ScaleEvent
+
+	followUp func(done serve.RequestMetrics, orig workload.Request) (workload.Request, bool)
+	// inFlightReqs remembers each offered request until completion so the
+	// follow-up hook can see the original (embedding, session, tenant);
+	// populated only when followUp is set.
+	inFlightReqs map[uint64]workload.Request
+	// injected is the pending follow-up arrival queue, sorted by
+	// ArrivalMS with stable insertion.
+	injected []workload.Request
+	// followUps counts injected requests.
+	followUps int
 
 	now      float64
 	admitted int
@@ -159,6 +182,10 @@ func New(opts Options) *Cluster {
 		tickMS:    opts.AutoscaleIntervalMS,
 		nextTick:  opts.AutoscaleIntervalMS,
 		initial:   len(opts.Engines),
+		followUp:  opts.FollowUp,
+	}
+	if c.followUp != nil {
+		c.inFlightReqs = map[uint64]workload.Request{}
 	}
 	for i, e := range opts.Engines {
 		if e == nil {
@@ -257,7 +284,66 @@ func (c *Cluster) Offer(req workload.Request) int {
 	in := c.instanceByID(fleet[i].ID)
 	in.Submitted++
 	in.Engine.Submit(req)
+	if c.followUp != nil {
+		c.inFlightReqs[req.ID] = req
+	}
 	return in.ID
+}
+
+// FollowUps counts follow-up requests injected by the FollowUp hook so
+// far.
+func (c *Cluster) FollowUps() int { return c.followUps }
+
+// collectFollowUps consults the FollowUp hook for every request the
+// instance completed since the last call and queues resulting follow-up
+// arrivals. Called after every engine step, so injection order — and with
+// it the whole run — stays deterministic.
+func (c *Cluster) collectFollowUps(in *Instance) {
+	if c.followUp == nil {
+		return
+	}
+	done := in.Engine.Completed()
+	for _, m := range done[in.observed:] {
+		orig, ok := c.inFlightReqs[m.ID]
+		if !ok {
+			continue
+		}
+		delete(c.inFlightReqs, m.ID)
+		fu, ok := c.followUp(m, orig)
+		if !ok {
+			continue
+		}
+		if fu.ArrivalMS < m.EndMS {
+			fu.ArrivalMS = m.EndMS
+		}
+		c.inject(fu)
+	}
+	in.observed = len(done)
+}
+
+// inject queues a follow-up arrival, keeping the queue sorted by arrival
+// time with stable insertion (equal arrivals preserve injection order).
+func (c *Cluster) inject(req workload.Request) {
+	c.followUps++
+	i := len(c.injected)
+	for i > 0 && c.injected[i-1].ArrivalMS > req.ArrivalMS {
+		i--
+	}
+	c.injected = append(c.injected, workload.Request{})
+	copy(c.injected[i+1:], c.injected[i:])
+	c.injected[i] = req
+}
+
+// popInjected removes and returns the earliest queued follow-up,
+// compacting in place rather than reslicing so popped requests (and
+// their embeddings) do not stay reachable through the backing array for
+// the lifetime of a long-running fleet.
+func (c *Cluster) popInjected() workload.Request {
+	q := c.injected[0]
+	copy(c.injected, c.injected[1:])
+	c.injected[len(c.injected)-1] = workload.Request{}
+	c.injected = c.injected[:len(c.injected)-1]
+	return q
 }
 
 // autoscale evaluates the policy at one shared-clock tick and applies at
@@ -317,21 +403,24 @@ func (c *Cluster) nextInstanceEvent() (float64, int) {
 }
 
 // Step processes the cluster's earliest pending instance event at or
-// before until; reports whether any work was done.
+// before until; reports whether any work was done. Step's scope is
+// instance events only — arrival offering and autoscale ticks belong to
+// the RunTrace/Drain loop.
 func (c *Cluster) Step(until float64) bool {
 	t, which := c.nextInstanceEvent()
 	if which < 0 || t > until {
 		return false
 	}
-	return c.instances[which].Engine.Step(until)
+	did := c.instances[which].Engine.Step(until)
+	c.collectFollowUps(c.instances[which])
+	return did
 }
 
 // Drain runs every submitted request on every instance to completion,
-// interleaving instances in shared-clock order, and returns the fleet
-// makespan.
+// interleaving instances, follow-up arrivals and autoscale ticks in
+// shared-clock order, and returns the fleet makespan.
 func (c *Cluster) Drain() float64 {
-	for c.Step(math.Inf(1)) {
-	}
+	c.run(nil)
 	wall := 0.0
 	for _, in := range c.instances {
 		if t := in.Engine.Now(); t > wall {
@@ -342,20 +431,34 @@ func (c *Cluster) Drain() float64 {
 }
 
 // RunTrace replays an arrival trace (sorted by ArrivalMS) through the
-// pipeline: the shared-clock loop merges arrival events, autoscale ticks
-// and instance iteration events, processing whichever is earlier, then
-// drains the fleet and aggregates. Event priority at equal times is
-// arrival → autoscale tick → instance, so routing sees fleet state as of
-// T, the autoscaler observes arrivals at T, and both precede instance
-// work at T. Ticks continue through the final drain (so idle shrink
-// happens) and stop once the trace is exhausted and every instance is
-// drained.
+// pipeline: the shared-clock loop merges arrival events (trace arrivals
+// and injected follow-ups), autoscale ticks and instance iteration
+// events, processing whichever is earlier, then drains the fleet and
+// aggregates. Event priority at equal times is arrival → autoscale tick →
+// instance, so routing sees fleet state as of T, the autoscaler observes
+// arrivals at T, and both precede instance work at T; a trace arrival and
+// a follow-up at the same instant resolve toward the trace. Ticks
+// continue through the final drain (so idle shrink happens) and stop once
+// the trace is exhausted, every follow-up has been offered, and every
+// instance is drained.
 func (c *Cluster) RunTrace(trace []workload.Request) *Result {
+	c.run(trace)
+	return c.Finalize()
+}
+
+// run is the shared-clock loop behind RunTrace (with a trace) and Drain
+// (without): it merges trace arrivals, injected follow-ups, autoscale
+// ticks and instance events until the trace is exhausted, the injected
+// queue is empty, and every instance is drained.
+func (c *Cluster) run(trace []workload.Request) {
 	next := 0
 	for {
-		tArr := math.Inf(1)
+		tArr, fromTrace := math.Inf(1), true
 		if next < len(trace) {
 			tArr = trace[next].ArrivalMS
+		}
+		if len(c.injected) > 0 && c.injected[0].ArrivalMS < tArr {
+			tArr, fromTrace = c.injected[0].ArrivalMS, false
 		}
 		tInst, which := c.nextInstanceEvent()
 		if math.IsInf(tArr, 1) && which < 0 {
@@ -366,8 +469,12 @@ func (c *Cluster) RunTrace(trace []workload.Request) *Result {
 			tTick = c.nextTick
 		}
 		if tArr <= tTick && tArr <= tInst {
-			c.Offer(trace[next])
-			next++
+			if fromTrace {
+				c.Offer(trace[next])
+				next++
+			} else {
+				c.Offer(c.popInjected())
+			}
 			continue
 		}
 		if tTick <= tInst {
@@ -379,6 +486,6 @@ func (c *Cluster) RunTrace(trace []workload.Request) *Result {
 			continue
 		}
 		c.instances[which].Engine.Step(tInst)
+		c.collectFollowUps(c.instances[which])
 	}
-	return c.Finalize()
 }

@@ -37,6 +37,9 @@ type Result struct {
 	Instances []InstanceResult
 	// Admitted and Rejected count the admission stage's decisions.
 	Admitted, Rejected int
+	// FollowUps counts closed-loop requests injected by the FollowUp hook
+	// (multi-turn session continuations), included in Admitted/Rejected.
+	FollowUps int
 	// Served counts requests that completed across the fleet.
 	Served int
 	// MeanTTFT and MeanTPOT are the fleet-wide headline latencies (ms).
@@ -72,6 +75,7 @@ func (c *Cluster) Finalize() *Result {
 		Router:      c.router.Name(),
 		Admitted:    c.admitted,
 		Rejected:    c.rejected,
+		FollowUps:   c.followUps,
 		ScaleEvents: c.events,
 	}
 	if c.scaler != nil {

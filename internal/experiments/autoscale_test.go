@@ -7,6 +7,9 @@ import "testing"
 // TTFT (within 10%) at 4x load while paying fewer instance-hours than it
 // at 1x load, and the sweep must exercise real shrink events.
 func TestAutoscaleFigAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autoscale sweep is not short")
+	}
 	out, err := Run(smallCtx(), "autoscalefig")
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +66,9 @@ func TestAutoscaleFigAcceptance(t *testing.T) {
 // TestAutoscaleFigDeterminism: the experiment is reproducible row for
 // row — scale events included — for a fixed seed.
 func TestAutoscaleFigDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run-twice autoscale sweep is not short")
+	}
 	a, err := Run(smallCtx(), "autoscalefig")
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,9 @@ import "testing"
 // TestClusterFigShape: semantic affinity must beat round-robin on fleet
 // hit rate at every load level (the routing redesign's acceptance bar).
 func TestClusterFigShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster routing sweep is not short")
+	}
 	out, err := Run(smallCtx(), "clusterfig")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,93 @@
+package experiments
+
+import "testing"
+
+// TestScenarioFigAcceptance pins the scenario gauntlet's headline: under
+// the MMPP bursty workload, the autoscaled semantic-affinity fleet holds
+// p99 TTFT below the fixed round-robin fleet of the same starting size,
+// and the bursty shapes actually present overdispersed traffic.
+func TestScenarioFigAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario gauntlet is not short")
+	}
+	out, err := Run(smallCtx(), "scenariofig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	rows := out.Table.Rows()
+	iScen, iFleet := col(t, h, "scenario"), col(t, h, "fleet")
+	iP99, iDisp := col(t, h, "p99_ttft_s"), col(t, h, "dispersion")
+	iServed := col(t, h, "served")
+
+	type key struct{ scen, fleet string }
+	p99 := map[key]float64{}
+	disp := map[string]float64{}
+	for _, r := range rows {
+		p99[key{r[iScen], r[iFleet]}] = cell(t, r[iP99])
+		disp[r[iScen]] = cell(t, r[iDisp])
+		if cell(t, r[iServed]) == 0 {
+			t.Errorf("scenario %s/%s served nothing", r[iScen], r[iFleet])
+		}
+	}
+	const fixed, auto = "fixed-2/round-robin", "auto[1..4]/semantic-affinity"
+
+	// Headline: bursty traffic is where elasticity + affinity pay.
+	fp, ok := p99[key{"mmpp", fixed}]
+	if !ok {
+		t.Fatal("mmpp fixed round-robin row missing")
+	}
+	ap, ok := p99[key{"mmpp", auto}]
+	if !ok {
+		t.Fatal("mmpp autoscaled semantic-affinity row missing")
+	}
+	if ap >= fp {
+		t.Errorf("mmpp: autoscaled semantic-affinity p99 TTFT %.3fs not below fixed round-robin's %.3fs",
+			ap, fp)
+	}
+
+	// The bursty shape must actually be bursty relative to Poisson.
+	if disp["mmpp"] <= 1 {
+		t.Errorf("mmpp dispersion %.2f, want > 1", disp["mmpp"])
+	}
+	if disp["mmpp"] <= disp["poisson"] {
+		t.Errorf("mmpp dispersion %.2f not above poisson's %.2f",
+			disp["mmpp"], disp["poisson"])
+	}
+
+	// Every scenario of the gauntlet appears on both fleets.
+	for _, scen := range []string{"poisson", "mmpp", "diurnal", "flash-crowd", "sessions", "two-tenant"} {
+		for _, fleet := range []string{fixed, auto} {
+			if _, ok := p99[key{scen, fleet}]; !ok {
+				t.Errorf("gauntlet cell %s/%s missing", scen, fleet)
+			}
+		}
+	}
+}
+
+// TestFigDeterminism is the golden regression contract for every
+// cluster-pipeline experiment: two runs with the same seed must produce
+// identical serialized outputs, scale events and follow-up injection
+// included. scenariofig joins the same contract clusterfig and
+// autoscalefig already honor.
+func TestFigDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run-twice golden sweep is not short")
+	}
+	for _, id := range []string{"scenariofig", "clusterfig", "autoscalefig"} {
+		t.Run(id, func(t *testing.T) {
+			a, err := Run(smallCtx(), id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(smallCtx(), id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, again := a.Table.CSV(), b.Table.CSV()
+			if golden != again {
+				t.Fatalf("%s not deterministic:\n%s\nvs\n%s", id, golden, again)
+			}
+		})
+	}
+}

@@ -24,6 +24,14 @@ type requestEntry struct {
 	OutputTokens int       `json:"output_tokens"`
 	Seed         uint64    `json:"seed"`
 	ArrivalMS    float64   `json:"arrival_ms"`
+	// Session/Turn/Tenant carry multi-turn and multi-tenant identity, and
+	// Dataset the per-request dataset name where it differs from the
+	// file's (multi-tenant mixes blend datasets); omitempty keeps
+	// version-1 traces written before these fields byte-compatible.
+	Session uint64 `json:"session,omitempty"`
+	Turn    int    `json:"turn,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
 }
 
 // WriteTrace serializes a request population to JSON. The dataset metadata
@@ -31,11 +39,16 @@ type requestEntry struct {
 func WriteTrace(w io.Writer, d Dataset, dim int, reqs []Request) error {
 	tf := traceFile{Version: 1, Dataset: d, Dim: dim}
 	for _, q := range reqs {
-		tf.Requests = append(tf.Requests, requestEntry{
+		e := requestEntry{
 			ID: q.ID, Topic: q.Topic, Embedding: q.Embedding,
 			InputTokens: q.InputTokens, OutputTokens: q.OutputTokens,
 			Seed: q.Seed, ArrivalMS: q.ArrivalMS,
-		})
+			Session: q.Session, Turn: q.Turn, Tenant: q.Tenant,
+		}
+		if q.Dataset != d.Name {
+			e.Dataset = q.Dataset
+		}
+		tf.Requests = append(tf.Requests, e)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -73,7 +86,13 @@ func ReadTrace(r io.Reader) (Dataset, []Request, error) {
 			return Dataset{}, nil, fmt.Errorf("workload: request %d arrival goes backwards", i)
 		}
 		lastArrival = e.ArrivalMS
-		q := Request{Topic: e.Topic, ArrivalMS: e.ArrivalMS, Dataset: tf.Dataset.Name}
+		q := Request{
+			Topic: e.Topic, ArrivalMS: e.ArrivalMS, Dataset: tf.Dataset.Name,
+			Session: e.Session, Turn: e.Turn, Tenant: e.Tenant,
+		}
+		if e.Dataset != "" {
+			q.Dataset = e.Dataset
+		}
 		q.ID = e.ID
 		q.Embedding = e.Embedding
 		q.InputTokens = e.InputTokens

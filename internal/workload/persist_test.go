@@ -40,6 +40,42 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceRoundTripSessionTenant: multi-turn and multi-tenant identity
+// survives persistence — a replayed mix still partitions per tenant and
+// keeps session threads intact.
+func TestTraceRoundTripSessionTenant(t *testing.T) {
+	mixed := MultiTenantTrace(16, 5, testTenants())
+	sess := NewSessions(LMSYSChat1M(), 16,
+		SessionConfig{MeanTurns: 2, ThinkTimeS: 1, Drift: 0.05}, 8)
+	opener := sess.Initial(Poisson{RatePerSec: 4}, 1, uint64(len(mixed)+1)<<32)[0]
+	opener.ArrivalMS = mixed[len(mixed)-1].ArrivalMS + 1
+	mixed = append(mixed, opener)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, LMSYSChat1M(), 16, mixed); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Tenant != mixed[i].Tenant || got[i].Session != mixed[i].Session ||
+			got[i].Turn != mixed[i].Turn {
+			t.Fatalf("session/tenant identity lost at %d: %+v vs %+v", i, got[i], mixed[i])
+		}
+		// Multi-tenant mixes blend datasets; each request must keep its
+		// own, not be relabeled to the file's dataset.
+		if got[i].Dataset != mixed[i].Dataset {
+			t.Fatalf("dataset identity lost at %d: %q vs %q", i, got[i].Dataset, mixed[i].Dataset)
+		}
+	}
+	per := SummarizeTenants(got)
+	if per["steady"].N != 30 || per["bursty"].N != 20 {
+		t.Fatalf("replayed tenant partition wrong: %v", per)
+	}
+}
+
 func TestReadTraceRejectsCorruption(t *testing.T) {
 	d := LMSYSChat1M()
 	reqs := d.Sample(Options{Dim: 8, N: 3, Seed: 1})

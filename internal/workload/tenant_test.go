@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+func testTenants() []TenantSpec {
+	return []TenantSpec{
+		{Name: "steady", Dataset: LMSYSChat1M(), Arrivals: Poisson{RatePerSec: 4}, N: 30},
+		{Name: "bursty", Dataset: ShareGPT(), Arrivals: BurstyMMPP(4), N: 20},
+	}
+}
+
+// TestMultiTenantTraceMerge: the mix is arrival-ordered, fully tagged,
+// ID-disjoint, and sized as the sum of its tenants.
+func TestMultiTenantTraceMerge(t *testing.T) {
+	trace := MultiTenantTrace(16, 5, testTenants())
+	if len(trace) != 50 {
+		t.Fatalf("merged trace has %d requests, want 50", len(trace))
+	}
+	if !sort.SliceIsSorted(trace, func(a, b int) bool {
+		return trace[a].ArrivalMS < trace[b].ArrivalMS
+	}) {
+		t.Fatal("merged trace not arrival-ordered")
+	}
+	seen := map[uint64]bool{}
+	byTenant := map[string]int{}
+	for _, q := range trace {
+		if seen[q.ID] {
+			t.Fatalf("duplicate ID %d across tenants", q.ID)
+		}
+		seen[q.ID] = true
+		byTenant[q.Tenant]++
+	}
+	if byTenant["steady"] != 30 || byTenant["bursty"] != 20 {
+		t.Fatalf("tenant partition wrong: %v", byTenant)
+	}
+	// Tenants keep their own dataset.
+	for _, q := range trace {
+		want := "LMSYS-Chat-1M"
+		if q.Tenant == "bursty" {
+			want = "ShareGPT"
+		}
+		if q.Dataset != want {
+			t.Fatalf("tenant %s request from dataset %s", q.Tenant, q.Dataset)
+		}
+	}
+}
+
+// TestMultiTenantTraceDeterminism: same seed, same mix; different seed,
+// different arrivals.
+func TestMultiTenantTraceDeterminism(t *testing.T) {
+	a := MultiTenantTrace(16, 5, testTenants())
+	b := MultiTenantTrace(16, 5, testTenants())
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].ArrivalMS != b[i].ArrivalMS {
+			t.Fatalf("multi-tenant trace not deterministic at %d", i)
+		}
+	}
+	c := MultiTenantTrace(16, 6, testTenants())
+	if a[0].ArrivalMS == c[0].ArrivalMS && a[1].ArrivalMS == c[1].ArrivalMS {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+// TestMultiTenantTraceValidation: unnamed tenants and missing arrival
+// processes panic.
+func TestMultiTenantTraceValidation(t *testing.T) {
+	for _, tenants := range [][]TenantSpec{
+		nil,
+		{{Dataset: LMSYSChat1M(), Arrivals: Poisson{RatePerSec: 1}, N: 1}},
+		{{Name: "x", Dataset: LMSYSChat1M(), N: 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for tenants %+v", tenants)
+				}
+			}()
+			MultiTenantTrace(8, 1, tenants)
+		}()
+	}
+}
+
+// TestSummarizeTenantsPartition: per-tenant stats partition the
+// population exactly — counts sum to the total and every partition's
+// stats match summarizing that tenant's requests alone.
+func TestSummarizeTenantsPartition(t *testing.T) {
+	trace := MultiTenantTrace(16, 5, testTenants())
+	per := SummarizeTenants(trace)
+	total := 0
+	for name, s := range per {
+		total += s.N
+		var own []Request
+		for _, q := range trace {
+			if q.Tenant == name {
+				own = append(own, q)
+			}
+		}
+		if want := Summarize(own); s != want {
+			t.Errorf("tenant %s stats diverge from direct summary", name)
+		}
+	}
+	if total != len(trace) {
+		t.Fatalf("tenant partition counts sum to %d, want %d", total, len(trace))
+	}
+	// Untagged requests land in the "" partition.
+	plain := LMSYSChat1M().Sample(Options{Dim: 8, N: 5, Seed: 1})
+	mixed := append(append([]Request(nil), trace...), plain...)
+	per = SummarizeTenants(mixed)
+	if per[""].N != 5 {
+		t.Fatalf("untagged partition has %d, want 5", per[""].N)
+	}
+}

@@ -29,6 +29,13 @@ type Request struct {
 	ArrivalMS float64
 	// Dataset names the generating dataset.
 	Dataset string
+	// Session identifies the multi-turn conversation the request belongs
+	// to (0 = standalone), and Turn its zero-based position in it.
+	Session uint64
+	Turn    int
+	// Tenant names the generating tenant in multi-tenant mixes
+	// ("" = untagged).
+	Tenant string
 }
 
 // Dataset describes a prompt population.
@@ -194,7 +201,10 @@ func Split(reqs []Request, storeFrac float64) (store, test []Request) {
 		panic("workload: storeFrac out of [0,1]")
 	}
 	cut := int(math.Round(float64(len(reqs)) * storeFrac))
-	return reqs[:cut], reqs[cut:]
+	// Full slice expressions cap both halves at their own length: a plain
+	// reqs[:cut] shares spare capacity with the test half, so appending to
+	// store would silently clobber test's first elements.
+	return reqs[:cut:cut], reqs[cut:len(reqs):len(reqs)]
 }
 
 // TraceConfig parameterizes an Azure-style online trace (§6.3).
@@ -212,22 +222,16 @@ type TraceConfig struct {
 
 // AzureTrace samples an online trace: dataset prompts with exponential
 // inter-arrival gaps (Poisson process) and trace-specified token lengths.
+// It is OnlineTrace specialized to the paper's constant-rate process; the
+// arrival stream is byte-identical to the pre-ArrivalProcess generator.
 func AzureTrace(d Dataset, dim int, tc TraceConfig) []Request {
 	if tc.RatePerSec <= 0 {
 		panic("workload: non-positive arrival rate")
 	}
-	base := tc.IDBase
-	if base == 0 {
-		base = 1 << 32
-	}
-	reqs := d.Sample(Options{Dim: dim, N: tc.N, Seed: tc.Seed, IDBase: base})
-	r := rng.New(rng.Mix(d.Seed, tc.Seed, 0xA22E))
-	var t float64
-	for i := range reqs {
-		t += r.Exp(tc.RatePerSec) * 1000 // ms
-		reqs[i].ArrivalMS = t
-	}
-	return reqs
+	return OnlineTrace(d, dim, OnlineOptions{
+		Arrivals: Poisson{RatePerSec: tc.RatePerSec},
+		N:        tc.N, Seed: tc.Seed, IDBase: tc.IDBase,
+	})
 }
 
 // Stats summarizes a request population.
@@ -238,6 +242,9 @@ type Stats struct {
 	DurationMS, RateRPS  float64
 	MinInput, MaxInput   int
 	MinOutput, MaxOutput int
+	// Sessions counts distinct multi-turn sessions (requests with
+	// Session != 0); Tenants counts distinct named tenants.
+	Sessions, Tenants int
 }
 
 // Summarize computes population statistics, useful for trace inspection and
@@ -249,11 +256,19 @@ func Summarize(reqs []Request) Stats {
 		return s
 	}
 	topics := map[int]bool{}
+	sessions := map[uint64]bool{}
+	tenants := map[string]bool{}
 	var lastArrival float64
 	for _, q := range reqs {
 		s.MeanInput += float64(q.InputTokens)
 		s.MeanOut += float64(q.OutputTokens)
 		topics[q.Topic] = true
+		if q.Session != 0 {
+			sessions[q.Session] = true
+		}
+		if q.Tenant != "" {
+			tenants[q.Tenant] = true
+		}
 		if q.ArrivalMS > lastArrival {
 			lastArrival = q.ArrivalMS
 		}
@@ -265,9 +280,26 @@ func Summarize(reqs []Request) Stats {
 	s.MeanInput /= float64(len(reqs))
 	s.MeanOut /= float64(len(reqs))
 	s.Topics = len(topics)
+	s.Sessions = len(sessions)
+	s.Tenants = len(tenants)
 	s.DurationMS = lastArrival
 	if lastArrival > 0 {
 		s.RateRPS = float64(len(reqs)) / (lastArrival / 1000)
 	}
 	return s
+}
+
+// SummarizeTenants partitions a population by tenant (untagged requests
+// fall under "") and summarizes each partition. The partitions are exact:
+// every request contributes to exactly one tenant's Stats.
+func SummarizeTenants(reqs []Request) map[string]Stats {
+	byTenant := map[string][]Request{}
+	for _, q := range reqs {
+		byTenant[q.Tenant] = append(byTenant[q.Tenant], q)
+	}
+	out := make(map[string]Stats, len(byTenant))
+	for name, qs := range byTenant {
+		out[name] = Summarize(qs)
+	}
+	return out
 }

@@ -128,6 +128,36 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// TestSplitNoAliasing: regression for the shared-backing-array footgun —
+// appending to the store half must not clobber the test half's first
+// elements (and vice versa), so both halves must be capped at their own
+// length.
+func TestSplitNoAliasing(t *testing.T) {
+	d := LMSYSChat1M()
+	reqs := d.Sample(Options{Dim: 8, N: 10, Seed: 21})
+	store, test := Split(reqs, 0.5)
+	wantTestFirst := test[0].ID
+	wantStoreFirst := store[0].ID
+
+	extra := d.Sample(Options{Dim: 8, N: 4, Seed: 22, IDBase: 100})
+	store = append(store, extra[0], extra[1])
+	test = append(test, extra[2], extra[3])
+
+	if test[0].ID != wantTestFirst {
+		t.Fatalf("appending to store clobbered test[0]: ID %d, want %d",
+			test[0].ID, wantTestFirst)
+	}
+	if store[0].ID != wantStoreFirst || store[len(store)-1].ID != extra[1].ID {
+		t.Fatal("store append lost its own elements")
+	}
+	// The original population is untouched by either append.
+	for i, q := range reqs {
+		if q.ID != d.Sample(Options{Dim: 8, N: 10, Seed: 21})[i].ID {
+			t.Fatalf("source slice mutated at %d", i)
+		}
+	}
+}
+
 func TestSplitPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -190,8 +220,70 @@ func TestUniqueIDs(t *testing.T) {
 
 func TestSummarizeEmpty(t *testing.T) {
 	s := Summarize(nil)
-	if s.N != 0 || s.RateRPS != 0 {
+	if s.N != 0 || s.RateRPS != 0 || s.Sessions != 0 || s.Tenants != 0 {
 		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+// TestSummarizeSingle: a one-request population has sane extrema and no
+// rate (no span to divide by).
+func TestSummarizeSingle(t *testing.T) {
+	q := LMSYSChat1M().Sample(Options{Dim: 8, N: 1, Seed: 31})[0]
+	s := Summarize([]Request{q})
+	if s.N != 1 || s.Topics != 1 {
+		t.Fatalf("single summary %+v", s)
+	}
+	if s.MinInput != q.InputTokens || s.MaxInput != q.InputTokens {
+		t.Fatalf("single extrema wrong: %+v", s)
+	}
+	if s.RateRPS != 0 || s.DurationMS != 0 {
+		t.Fatalf("offline single request has rate/duration: %+v", s)
+	}
+}
+
+// TestSummarizeSessions: session workloads contribute correct session and
+// topic counts — follow-up turns share the opener's session and topic, so
+// distinct sessions, not turns, are counted.
+func TestSummarizeSessions(t *testing.T) {
+	sess := NewSessions(LMSYSChat1M(), 16,
+		SessionConfig{MeanTurns: 4, ThinkTimeS: 1, Drift: 0.02}, 9)
+	openers := sess.Initial(Poisson{RatePerSec: 4}, 12, 0)
+	all := append([]Request(nil), openers...)
+	for _, q := range openers {
+		cur := q
+		for {
+			fu, ok := sess.FollowUp(cur, cur.ArrivalMS+500)
+			if !ok {
+				break
+			}
+			all = append(all, fu)
+			cur = fu
+		}
+	}
+	s := Summarize(all)
+	if s.Sessions != 12 {
+		t.Fatalf("session count %d, want 12 (turns must not open new sessions)", s.Sessions)
+	}
+	if s.N <= 12 {
+		t.Fatal("no follow-up turns generated; session test is vacuous")
+	}
+	topics := map[int]bool{}
+	for _, q := range openers {
+		topics[q.Topic] = true
+	}
+	if s.Topics != len(topics) {
+		t.Fatalf("topic count %d, want %d (follow-ups stay on-topic)", s.Topics, len(topics))
+	}
+}
+
+// TestSummarizeTenantCount: the tenant counter tracks distinct names.
+func TestSummarizeTenantCount(t *testing.T) {
+	trace := MultiTenantTrace(8, 3, testTenants())
+	if s := Summarize(trace); s.Tenants != 2 {
+		t.Fatalf("tenant count %d, want 2", s.Tenants)
+	}
+	if s := Summarize(trace[:1]); s.Tenants != 1 {
+		t.Fatalf("tenant count %d, want 1", s.Tenants)
 	}
 }
 
