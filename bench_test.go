@@ -208,6 +208,52 @@ func BenchmarkExpertMapSearch(b *testing.B) {
 	}
 }
 
+// benchScenarioMatrix is a small heterogeneous gauntlet for the RunMatrix
+// benchmarks: enough independent cells that the worker pool has work to
+// steal.
+func benchScenarioMatrix() []Scenario {
+	ds := LMSYSChat1M()
+	ds.Topics = 8
+	var out []Scenario
+	for _, ap := range []ArrivalProcess{
+		PoissonArrivals{RatePerSec: 20}, BurstyMMPP(20), DiurnalSwing(20), FlashSpike(20),
+	} {
+		out = append(out,
+			Scenario{Name: ap.Name(), Workload: ScenarioWorkload{
+				Dataset: ds, Arrivals: ap, Requests: 12},
+				Fleet: ScenarioFleet{Instances: 2, Router: "round-robin"}},
+			Scenario{Name: ap.Name() + "-auto", Workload: ScenarioWorkload{
+				Dataset: ds, Arrivals: ap, Requests: 12},
+				Fleet: ScenarioFleet{Instances: 1, Autoscale: true,
+					MaxInstances: 3, TickMS: 10, SustainMS: 20, CooldownMS: 20}})
+	}
+	return out
+}
+
+func benchRunMatrix(b *testing.B, workers int) {
+	b.Helper()
+	matrix := benchScenarioMatrix()
+	for i := 0; i < b.N; i++ {
+		r := NewScenarioRunner(ScenarioOptions{
+			Model: TinyModel(), NumGPUs: 2, StoreCapacity: 100,
+			MaxInput: 8, MaxOutput: 8, Seed: 7,
+			Workers: workers,
+		})
+		if _, err := r.RunMatrix(matrix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMatrixSerial sweeps the benchmark gauntlet on one worker —
+// the seed's sequential behavior.
+func BenchmarkRunMatrixSerial(b *testing.B) { benchRunMatrix(b, 1) }
+
+// BenchmarkRunMatrixParallel sweeps the same gauntlet on a GOMAXPROCS
+// worker pool; reports are byte-identical to the serial sweep (pinned by
+// TestRunMatrixParallelMatchesSerial), so the delta is pure wall-clock.
+func BenchmarkRunMatrixParallel(b *testing.B) { benchRunMatrix(b, 0) }
+
 // BenchmarkOfflineServing measures end-to-end engine throughput on the tiny
 // model (iterations simulated per second).
 func BenchmarkOfflineServing(b *testing.B) {

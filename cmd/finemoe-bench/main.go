@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,6 +41,15 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet = flag.Bool("q", false, "suppress progress timing")
+
+		workers = flag.Int("workers", 0,
+			"worker pool for the cluster-sweep experiments (0 = GOMAXPROCS, 1 = serial); tables are identical either way")
+		searchBench = flag.String("searchbench", "",
+			"run the expert-map search micro-benchmarks and write the JSON baseline (BENCH_search.json) to this path, then exit")
+		cpuProfile = flag.String("cpuprofile", "",
+			"write a pprof CPU profile of the experiment runs to this file")
+		memProfile = flag.String("memprofile", "",
+			"write a pprof heap profile to this file after the runs")
 	)
 	flag.Parse()
 
@@ -46,6 +57,48 @@ func main() {
 		for _, e := range experiments.List() {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *searchBench != "" {
+		if err := runSearchBench(*searchBench); err != nil {
+			fmt.Fprintf(os.Stderr, "searchbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote search benchmark baseline to %s\n", *searchBench)
+		}
+		writeMemProfile()
 		return
 	}
 
@@ -78,6 +131,7 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(sc, *seed)
+	ctx.Workers = *workers
 	for _, id := range ids {
 		start := time.Now()
 		out, err := experiments.Run(ctx, id)
@@ -94,4 +148,5 @@ func main() {
 			fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	writeMemProfile()
 }

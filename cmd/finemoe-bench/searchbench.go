@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"finemoe/internal/core"
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+)
+
+// searchBenchResult is one micro-benchmark's measurement in the committed
+// BENCH_search.json baseline.
+type searchBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// searchBenchBaseline is the artifact's top-level schema. SpeedupVsBrute
+// maps store size to exact-mode indexed speedup over the seed's
+// brute-force scan — the acceptance headline (≥5× at 10K maps).
+type searchBenchBaseline struct {
+	GeneratedBy    string              `json:"generated_by"`
+	GoVersion      string              `json:"go_version"`
+	GOOS           string              `json:"goos"`
+	GOARCH         string              `json:"goarch"`
+	Model          string              `json:"model"`
+	SemDim         int                 `json:"sem_dim"`
+	StoreSizes     []int               `json:"store_sizes"`
+	Benchmarks     []searchBenchResult `json:"benchmarks"`
+	SpeedupVsBrute map[string]float64  `json:"speedup_exact_vs_brute"`
+}
+
+func record(out *searchBenchBaseline, name string, r testing.BenchmarkResult) float64 {
+	out.Benchmarks = append(out.Benchmarks, searchBenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	})
+	return float64(r.NsPerOp())
+}
+
+// runSearchBench measures the expert-map search hot path — indexed exact,
+// approximate (nprobe=4), the seed's brute force, cursor construction and
+// observation, and steady-state Store.Add — and writes the JSON baseline
+// future perf PRs diff against.
+func runSearchBench(path string) error {
+	cfg := moe.Mixtral8x7B()
+	out := &searchBenchBaseline{
+		GeneratedBy:    "finemoe-bench -searchbench",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Model:          cfg.Name,
+		SemDim:         cfg.SemDim,
+		StoreSizes:     []int{1000, 10000},
+		SpeedupVsBrute: map[string]float64{},
+	}
+	for _, n := range out.StoreSizes {
+		s, sem := core.SearchBenchStore(cfg, n)
+		searcher := core.NewSearcher(s, 0)
+		approx := core.NewSearcher(s, 0)
+		approx.SetNProbe(4)
+		q := searcher.Prepare(sem)
+		exactNs := record(out, fmt.Sprintf("SemanticSearch/exact/store=%d", n),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					searcher.SemanticSearchQ(q)
+				}
+			}))
+		record(out, fmt.Sprintf("SemanticSearch/nprobe=4/store=%d", n),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					approx.SemanticSearchQ(q)
+				}
+			}))
+		bruteNs := record(out, fmt.Sprintf("SemanticSearch/brute/store=%d", n),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					searcher.BruteForceSemanticSearch(sem)
+				}
+			}))
+		q.Release()
+		if exactNs > 0 {
+			out.SpeedupVsBrute[fmt.Sprintf("%d", n)] = bruteNs / exactNs
+		}
+	}
+
+	// Cursor and store-churn micro-benchmarks on the paper's 1K store.
+	s, sem := core.SearchBenchStore(cfg, 1000)
+	pre := core.NewSearcher(s, 128)
+	record(out, "NewCursor/prefilter=128/store=1000",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			q := pre.Prepare(sem)
+			defer q.Release()
+			for i := 0; i < b.N; i++ {
+				pre.NewCursorQ(q).Release()
+			}
+		}))
+	record(out, "CursorObserve/prefilter=128",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			probs := make([]float64, cfg.RoutedExperts)
+			r := rng.New(5)
+			for j := range probs {
+				probs[j] = r.Float64()
+			}
+			cur := pre.NewCursor(sem)
+			used := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if used == cfg.Layers {
+					b.StopTimer()
+					cur.Release()
+					cur = pre.NewCursor(sem)
+					used = 0
+					b.StartTimer()
+				}
+				cur.Observe(probs)
+				used++
+			}
+		}))
+	record(out, "StoreAdd/steady-state/capacity=1000",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			maps := make([]*core.ExpertMap, 2000)
+			for i := range maps {
+				maps[i] = core.RandomExpertMap(cfg, uint64(i), 31)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(maps[i%len(maps)])
+			}
+		}))
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

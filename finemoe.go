@@ -8,9 +8,12 @@
 //     statistically calibrated gate-network simulator (the substitute for a
 //     GPU inference stack — see DESIGN.md for the substitution argument);
 //   - the FineMoE policy: expert maps, the Expert Map Store with
-//     redundancy-scored deduplication, semantic+trajectory search,
-//     similarity-aware δ-threshold prefetching, and priority-driven
-//     caching/eviction;
+//     redundancy-scored deduplication, semantic+trajectory search through
+//     a centroid-clustered index (exact probe-all mode is byte-identical
+//     to a brute-force scan; FineMoEOptions.SearchNProbe opts into
+//     approximate search — see the searchfig experiment), zero-copy
+//     generation-counted store snapshots, similarity-aware δ-threshold
+//     prefetching, and priority-driven caching/eviction;
 //   - the four baselines the paper compares against (DeepSpeed-Inference,
 //     Mixtral-Offloading, ProMoE, MoE-Infinity) plus No-Offload;
 //   - a virtual-time serving engine over a simulated multi-GPU cluster with
@@ -243,8 +246,17 @@ func NewFineMoE(store *Store, opts FineMoEOptions) *FineMoE {
 	return core.NewFineMoE(store, opts)
 }
 
-// Searcher performs semantic and trajectory expert-map search (§4.2).
+// Searcher performs semantic and trajectory expert-map search (§4.2)
+// through the store's centroid-clustered index. The default probe-all
+// mode returns byte-identical results to a brute-force linear scan;
+// Searcher.SetNProbe (or FineMoEOptions.SearchNProbe) opts into
+// approximate search over the top-n query-similar clusters.
 type Searcher = core.Searcher
+
+// SearchQuery is a prepared (pooled) search query: one float32 conversion
+// of an embedding serves both Searcher.SemanticSearchQ and
+// Searcher.NewCursorQ; Release recycles it.
+type SearchQuery = core.Query
 
 // SearchResult is a searched map with its similarity score.
 type SearchResult = core.SearchResult
@@ -415,7 +427,10 @@ type ScenarioRunner = scenarios.Runner
 type ScenarioReport = scenarios.Report
 
 // NewScenarioRunner builds a runner; every scenario it runs shares the
-// same model and testbed, so reports are comparable.
+// same model and testbed, so reports are comparable. RunMatrix sweeps
+// scenarios on a bounded worker pool (ScenarioOptions.Workers; 0 =
+// GOMAXPROCS) with reports byte-identical to a serial sweep regardless of
+// worker count.
 func NewScenarioRunner(opts ScenarioOptions) *ScenarioRunner { return scenarios.NewRunner(opts) }
 
 // --- Experiment harness ------------------------------------------------------------

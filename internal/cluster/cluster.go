@@ -43,6 +43,9 @@ type Instance struct {
 	// observed is the prefix of the engine's completion history the
 	// cluster has already consulted for follow-up injection.
 	observed int
+	// idx is the instance's position in the cluster's instances slice
+	// (append-only, so stable) — the key into the next-event heap.
+	idx int
 }
 
 // State snapshots the instance's load view for admission and routing.
@@ -130,6 +133,20 @@ type Cluster struct {
 	initial  int
 	events   []ScaleEvent
 
+	// Next-event cache: a binary min-heap over instance indices keyed by
+	// (cached Engine.NextEventTime, instance index), so the shared-clock
+	// loop pays O(log n) per event instead of a full O(instances) scan —
+	// the cost that dominates large autoscaled fleets. evtTimes caches
+	// each instance's next event time as of its last refresh; evtPos maps
+	// instance index to heap position. Entries are refreshed at exactly
+	// the points an engine's event time can change: Submit (Offer), Step,
+	// and instance creation (grow). The heap order (time asc, index asc)
+	// reproduces the scan's lowest-index-wins tie-break, so event order —
+	// and with it every golden — is byte-identical to the linear scan.
+	evtHeap  []int32
+	evtTimes []float64
+	evtPos   []int32
+
 	followUp func(done serve.RequestMetrics, orig workload.Request) (workload.Request, bool)
 	// inFlightReqs remembers each offered request until completion so the
 	// follow-up hook can see the original (embedding, session, tenant);
@@ -191,10 +208,82 @@ func New(opts Options) *Cluster {
 		if e == nil {
 			panic("cluster: nil engine")
 		}
-		c.instances = append(c.instances, &Instance{ID: i, Engine: e})
+		c.instances = append(c.instances, &Instance{ID: i, Engine: e, idx: i})
+		c.evtPush(i)
 	}
 	c.nextID = len(c.instances)
 	return c
+}
+
+// --- next-event min-heap ----------------------------------------------------
+
+// evtLess orders heap entries by (cached event time asc, instance index
+// asc) — the same total order the linear scan's `<` induced, so ties still
+// resolve toward the lowest instance index.
+func (c *Cluster) evtLess(a, b int32) bool {
+	ta, tb := c.evtTimes[a], c.evtTimes[b]
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (c *Cluster) evtSwap(i, j int) {
+	c.evtHeap[i], c.evtHeap[j] = c.evtHeap[j], c.evtHeap[i]
+	c.evtPos[c.evtHeap[i]] = int32(i)
+	c.evtPos[c.evtHeap[j]] = int32(j)
+}
+
+func (c *Cluster) evtUp(pos int) {
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !c.evtLess(c.evtHeap[pos], c.evtHeap[parent]) {
+			return
+		}
+		c.evtSwap(pos, parent)
+		pos = parent
+	}
+}
+
+func (c *Cluster) evtDown(pos int) {
+	n := len(c.evtHeap)
+	for {
+		l, r := 2*pos+1, 2*pos+2
+		small := pos
+		if l < n && c.evtLess(c.evtHeap[l], c.evtHeap[small]) {
+			small = l
+		}
+		if r < n && c.evtLess(c.evtHeap[r], c.evtHeap[small]) {
+			small = r
+		}
+		if small == pos {
+			return
+		}
+		c.evtSwap(pos, small)
+		pos = small
+	}
+}
+
+// evtPush registers instance idx (just appended to c.instances) with its
+// engine's current next event time.
+func (c *Cluster) evtPush(idx int) {
+	c.evtTimes = append(c.evtTimes, c.instances[idx].Engine.NextEventTime())
+	c.evtPos = append(c.evtPos, int32(len(c.evtHeap)))
+	c.evtHeap = append(c.evtHeap, int32(idx))
+	c.evtUp(len(c.evtHeap) - 1)
+}
+
+// refreshEvent re-reads instance idx's next event time and restores heap
+// order. Call after any operation that can change it (Submit, Step).
+func (c *Cluster) refreshEvent(idx int) {
+	t := c.instances[idx].Engine.NextEventTime()
+	if t == c.evtTimes[idx] {
+		return
+	}
+	c.evtTimes[idx] = t
+	pos := int(c.evtPos[idx])
+	c.evtUp(pos)
+	c.evtDown(int(c.evtPos[idx]))
 }
 
 // Size returns the number of instances ever part of the fleet, including
@@ -284,6 +373,7 @@ func (c *Cluster) Offer(req workload.Request) int {
 	in := c.instanceByID(fleet[i].ID)
 	in.Submitted++
 	in.Engine.Submit(req)
+	c.refreshEvent(in.idx)
 	if c.followUp != nil {
 		c.inFlightReqs[req.ID] = req
 	}
@@ -369,7 +459,8 @@ func (c *Cluster) autoscale(nowMS float64) {
 		// Align the fresh engine's clock with the fleet so its requests
 		// are not timestamped in its pre-spawn past.
 		e.AdvanceClock(nowMS)
-		c.instances = append(c.instances, &Instance{ID: id, Engine: e, StartedMS: nowMS})
+		c.instances = append(c.instances, &Instance{ID: id, Engine: e, StartedMS: nowMS, idx: len(c.instances)})
+		c.evtPush(len(c.instances) - 1)
 		c.events = append(c.events, ScaleEvent{
 			TimeMS: nowMS, Kind: "grow", Instance: id, ActiveAfter: len(fleet) + 1,
 		})
@@ -391,8 +482,24 @@ func (c *Cluster) autoscale(nowMS float64) {
 }
 
 // nextInstanceEvent returns the earliest per-instance event time and its
-// instance index (lowest index wins ties); +Inf when all are drained.
+// instance index (lowest index wins ties); +Inf when all are drained. The
+// answer comes from the cached next-event heap — O(1) instead of the
+// O(instances) scan the seed paid per shared-clock event.
 func (c *Cluster) nextInstanceEvent() (float64, int) {
+	if len(c.evtHeap) == 0 {
+		return math.Inf(1), -1
+	}
+	root := c.evtHeap[0]
+	t := c.evtTimes[root]
+	if math.IsInf(t, 1) {
+		return t, -1
+	}
+	return t, int(root)
+}
+
+// nextInstanceEventScan is the seed's linear scan, kept as the reference
+// the heap is property-tested against (cluster_test.go).
+func (c *Cluster) nextInstanceEventScan() (float64, int) {
 	t, which := math.Inf(1), -1
 	for i, in := range c.instances {
 		if et := in.Engine.NextEventTime(); et < t {
@@ -412,6 +519,7 @@ func (c *Cluster) Step(until float64) bool {
 		return false
 	}
 	did := c.instances[which].Engine.Step(until)
+	c.refreshEvent(which)
 	c.collectFollowUps(c.instances[which])
 	return did
 }
@@ -486,6 +594,7 @@ func (c *Cluster) run(trace []workload.Request) {
 			continue
 		}
 		c.instances[which].Engine.Step(tInst)
+		c.refreshEvent(which)
 		c.collectFollowUps(c.instances[which])
 	}
 }

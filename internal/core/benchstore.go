@@ -1,0 +1,24 @@
+package core
+
+import (
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+)
+
+// SearchBenchStore builds the canonical search-benchmark population: n
+// synthetic maps (RandomExpertMap, fixed seed 77) in a store of capacity
+// n — steady state at the fill boundary — plus the fixed unit query the
+// benchmarks search for. It is the single source of the benchmark
+// workload, shared by internal/core's `go test -bench` benchmarks and
+// `finemoe-bench -searchbench` (the BENCH_search.json generator), so the
+// committed baseline always measures exactly what the test benchmarks
+// measure.
+func SearchBenchStore(cfg moe.Config, n int) (*Store, []float64) {
+	s := NewStore(cfg, n, cfg.OptimalPrefetchDistance)
+	for i := 0; i < n; i++ {
+		s.Add(RandomExpertMap(cfg, uint64(i), 77))
+	}
+	q := make([]float64, cfg.SemDim)
+	rng.New(123).UnitVec(q)
+	return s, q
+}

@@ -58,6 +58,34 @@ func NewExpertMap(cfg moe.Config, reqID uint64, it *moe.Iteration) *ExpertMap {
 	return m
 }
 
+// RandomExpertMap synthesizes a structurally valid expert map from a seed:
+// a random unit semantic embedding and per-layer random gate distributions.
+// It skips the gate-network simulation entirely, so large stores (the 10K
+// population of the search benchmarks, the parity property tests' seeded
+// random stores) can be built in microseconds per map.
+func RandomExpertMap(cfg moe.Config, reqID uint64, seed uint64) *ExpertMap {
+	r := rng.New(rng.Mix(0x5e4c, seed, reqID))
+	sem := make([]float64, cfg.SemDim)
+	r.UnitVec(sem)
+	m := &ExpertMap{
+		ReqID: reqID,
+		Sem:   tensor.Float32s(sem),
+		Traj:  make([]float32, cfg.Layers*cfg.RoutedExperts),
+	}
+	probs := make([]float64, cfg.RoutedExperts)
+	for l := 0; l < cfg.Layers; l++ {
+		for j := range probs {
+			probs[j] = r.Float64()
+		}
+		tensor.Normalize1(probs)
+		for j, v := range probs {
+			m.Traj[l*cfg.RoutedExperts+j] = float32(v)
+		}
+	}
+	m.buildPrefixNorms(cfg.RoutedExperts)
+	return m
+}
+
 func (m *ExpertMap) buildPrefixNorms(j int) {
 	layers := len(m.Traj) / j
 	m.prefixNorm2 = make([]float64, layers)
@@ -95,6 +123,18 @@ type Store struct {
 	d    int
 	maps []*ExpertMap
 
+	// index clusters the population's semantic embeddings so searches are
+	// sublinear (see index.go); maintained incrementally on every
+	// insertion and replacement.
+	index *semIndex
+
+	// gen counts population mutations; snap caches the population slice
+	// handed out by Snapshot so repeated snapshots of an unchanged store
+	// are zero-copy (one copy per generation, not per call).
+	gen     uint64
+	snap    []*ExpertMap
+	snapGen uint64
+
 	// dedupSample bounds how many stored maps each insertion is compared
 	// against once the store is full (sampled uniformly); 0 compares
 	// against everything, reproducing §4.4 exactly at higher cost.
@@ -121,6 +161,7 @@ func NewStore(cfg moe.Config, capacity, prefetchDistance int) *Store {
 		cfg:         cfg,
 		capacity:    capacity,
 		d:           prefetchDistance,
+		index:       newSemIndex(cfg.SemDim, capacity),
 		dedupSample: 96,
 		sampleRNG:   rng.New(rng.Mix(0x57, uint64(capacity))),
 	}
@@ -162,8 +203,10 @@ func (s *Store) Add(m *ExpertMap) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.adds++
+	s.gen++
 	if len(s.maps) < s.capacity {
 		s.maps = append(s.maps, m)
+		s.index.insert(len(s.maps)-1, m.Sem)
 		return
 	}
 	var idx int
@@ -173,7 +216,9 @@ func (s *Store) Add(m *ExpertMap) {
 	} else {
 		idx = s.mostRedundantLocked(m)
 	}
+	s.index.remove(idx)
 	s.maps[idx] = m
+	s.index.insert(idx, m.Sem)
 	s.replaced++
 }
 
@@ -221,6 +266,11 @@ func (s *Store) Clone() *Store {
 	c.dedupOff = s.dedupOff
 	c.maps = make([]*ExpertMap, len(s.maps))
 	copy(c.maps, s.maps)
+	// Rebuild the clone's index from the copied population in slot order —
+	// deterministic, and independent of the original's insertion history.
+	for i, m := range c.maps {
+		c.index.insert(i, m.Sem)
+	}
 	return c
 }
 
@@ -233,15 +283,79 @@ func (s *Store) SetDedupDisabled(off bool) {
 	s.dedupOff = off
 }
 
-// Snapshot returns the current map population. The slice is a copy; the
-// maps are shared immutable records, so concurrent searches over a
-// snapshot are race-free while inserts continue.
+// Snapshot returns the current map population. The slice is immutable —
+// callers must not modify it — and generation-counted: repeated snapshots
+// of an unchanged store return the same cached slice with zero copying,
+// and a mutation only invalidates the cache (the next Snapshot pays one
+// copy). The maps are shared immutable records, so concurrent searches
+// over a snapshot are race-free while inserts continue.
 func (s *Store) Snapshot() []*ExpertMap {
 	s.mu.RLock()
+	if s.snap != nil && s.snapGen == s.gen {
+		out := s.snap
+		s.mu.RUnlock()
+		return out
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil || s.snapGen != s.gen {
+		s.snap = append(make([]*ExpertMap, 0, len(s.maps)), s.maps...)
+		s.snapGen = s.gen
+	}
+	return s.snap
+}
+
+// Generation returns the store's mutation counter: two equal generations
+// bracket an unchanged population (the zero-copy snapshot contract).
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]*ExpertMap, len(s.maps))
-	copy(out, s.maps)
-	return out
+	return s.gen
+}
+
+// semSearch runs one indexed semantic search under the store lock and
+// resolves the winning slot to its map. nprobe <= 0 probes every bucket
+// (exact mode, byte-identical to the brute-force scan).
+func (s *Store) semSearch(q *Query, nprobe int) (SearchResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.maps) == 0 {
+		return SearchResult{}, false
+	}
+	slot, score := s.index.search(q, nprobe, len(s.maps))
+	if slot < 0 {
+		return SearchResult{}, false
+	}
+	return SearchResult{Map: s.maps[slot], Score: score}, true
+}
+
+// semTopN appends the semantic top-n maps under (score desc, slot asc) —
+// the trajectory prefilter's comparator — to dst and returns it. scratch
+// is the caller's pooled slotScore buffer (returned for reuse).
+func (s *Store) semTopN(q *Query, nprobe, n int, dst []*ExpertMap, scratch []slotScore) ([]*ExpertMap, []slotScore) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	top := s.index.topN(q, nprobe, n, len(s.maps), scratch[:0])
+	for _, t := range top {
+		dst = append(dst, s.maps[t.slot])
+	}
+	return dst, top[:0]
+}
+
+// probeStats reports the index's search shape for the latency model: the
+// number of non-empty clusters the probe ordering scores, and the expected
+// candidate count a search with the given nprobe scans (the full
+// population in exact mode, ~population·nprobe/clusters when probing).
+func (s *Store) probeStats(nprobe int) (clusters, candidates int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	clusters = s.index.active()
+	candidates = len(s.maps)
+	if nprobe > 0 && nprobe < clusters {
+		candidates = (candidates*nprobe + clusters - 1) / clusters
+	}
+	return clusters, candidates
 }
 
 // StoreStats summarizes store churn.

@@ -17,6 +17,12 @@ type Options struct {
 	// SemanticPrefilter bounds trajectory-search candidates (0 = default
 	// 128; negative = full store).
 	SemanticPrefilter int
+	// SearchNProbe opts into approximate semantic search: the clustered
+	// index probes only the n most query-similar centroid buckets per
+	// search (0 = probe all, exact mode — byte-identical to the seed's
+	// brute force). The searchfig experiment quantifies the hit-rate loss
+	// vs. search speedup across nprobe.
+	SearchNProbe int
 	// DisableSemantic turns off semantic-based search, leaving the first
 	// d layers unguided — the Map(T) ablation of Fig. 14a.
 	DisableSemantic bool
@@ -93,9 +99,11 @@ func NewFineMoE(store *Store, opts Options) *FineMoE {
 	if prefilter < 0 {
 		prefilter = 0
 	}
+	searcher := NewSearcher(store, prefilter)
+	searcher.SetNProbe(opts.SearchNProbe)
 	return &FineMoE{
 		store:    store,
-		searcher: NewSearcher(store, prefilter),
+		searcher: searcher,
 		opts:     opts,
 		cfg:      cfg,
 		d:        d,
@@ -189,10 +197,13 @@ func (f *FineMoE) StartIteration(views []policy.IterView, now float64) float64 {
 	for _, v := range views {
 		f.Account(policy.CompCollect, 0.05)
 		st := &reqState{isPrefill: v.IsPrefill}
+		// One float32 conversion serves the semantic search and the
+		// trajectory cursor (the seed converted the embedding twice).
+		q := f.searcher.Prepare(v.Semantic)
 		if !f.opts.DisableSemantic {
 			semLat := f.searcher.SemanticLatencyMS()
 			f.Account(policy.CompMapMatch, semLat)
-			if res, ok := f.searcher.SemanticSearch(v.Semantic); ok {
+			if res, ok := f.searcher.SemanticSearchQ(q); ok {
 				st.sem, st.semOK = res, true
 				issueAt := now + semLat
 				if f.opts.SynchronousSearch {
@@ -217,8 +228,12 @@ func (f *FineMoE) StartIteration(views []policy.IterView, now float64) float64 {
 				}
 			}
 		}
-		st.cursor = f.searcher.NewCursor(v.Semantic)
+		st.cursor = f.searcher.NewCursorQ(q)
+		q.Release()
 		f.mu.Lock()
+		if old := f.reqs[v.ReqID]; old != nil && old.cursor != nil {
+			old.cursor.Release()
+		}
 		f.reqs[v.ReqID] = st
 		f.mu.Unlock()
 	}
@@ -290,9 +305,13 @@ func (f *FineMoE) EndIteration(reqID uint64, it *moe.Iteration, _ float64) float
 	return 0
 }
 
-// EndRequest drops per-request state.
+// EndRequest drops per-request state, recycling the trajectory cursor's
+// pooled score buffers.
 func (f *FineMoE) EndRequest(reqID uint64, _ float64) {
 	f.mu.Lock()
+	if st := f.reqs[reqID]; st != nil && st.cursor != nil {
+		st.cursor.Release()
+	}
 	delete(f.reqs, reqID)
 	f.mu.Unlock()
 }

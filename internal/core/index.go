@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"finemoe/internal/tensor"
+)
+
+// semIndex is an IVF-style centroid-clustered inverted index over the
+// store's semantic embeddings, making expert-map search sublinear in the
+// store population. Stored maps are bucketed under k centroids maintained
+// as exact running means (a sequential k-means): the first k insertions
+// seed the centroids, later insertions join the nearest centroid, and
+// evictions subtract their contribution — so membership changes keep every
+// centroid at the exact mean of its current members with O(k·dim) work per
+// mutation and no global re-clustering pass.
+//
+// A search ranks centroids by similarity to the query and scans the top
+// nprobe buckets; nprobe <= 0 probes everything (exact mode), which the
+// scan specializes into a sequential sweep of the contiguous embedding
+// arena — the store's slot space is dense, so every slot below the
+// population count is live.
+//
+// Scans are two-phase. The fast phase streams the float32 arena with
+// tensor.FastDotF32 (SIMD on amd64, pairwise-tree scalar elsewhere) and a
+// sqrt/division-free ranking key, keeping every candidate within a
+// conservative margin of the running best.
+// The exact phase re-scores those few candidates with the brute-force
+// arithmetic — float64(float32) products accumulated in strict element
+// order against cached squared norms — and picks the winner under
+// (score desc, slot asc), the ordering a linear scan's ">" induces. A
+// float32 dot over dim elements differs from the float64 cosine by at
+// most ~dim·2⁻²⁴ ≈ 4e-6 (norm-independent: Σ|aᵢbᵢ| ≤ |a||b|), so with
+// scanEps = 1e-3 the fast phase can never exclude the true winner, and
+// exact mode returns byte-identical results to the seed's brute force —
+// the contract pinned by the parity tests in index_test.go.
+//
+// The index is owned by Store and guarded by the store's lock; it has no
+// locking of its own.
+type semIndex struct {
+	dim int
+	k   int
+
+	// Cluster state. sums[c] is the un-normalized vector sum of bucket c's
+	// member embeddings (float64, so the mean is exact under adds and
+	// removes); counts[c] is the membership; buckets[c] lists member slots.
+	sums    [][]float64
+	counts  []int
+	buckets [][]int32
+
+	// Per-slot state, indexed by store slot. slotCluster is -1 for slots
+	// not yet populated; slotPos is the slot's position inside its bucket
+	// (for O(1) swap-removal). sems is the capacity×dim contiguous float32
+	// embedding arena both scan phases read; norm2 caches ||sem||² per
+	// slot in float64 (accumulated exactly as CosineF32 would).
+	slotCluster []int32
+	slotPos     []int32
+	sems        []float32
+	norm2       []float64
+	invNorm2    []float64
+}
+
+// scanScratch is one search's reusable buffers. Searches run under the
+// store's read lock and may therefore be concurrent, so scratch cannot
+// live on the index — it is pooled per call instead.
+type scanScratch struct {
+	near []slotScore
+	ids  []int32
+	sims []float64
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// scanEps is the fast-phase retention margin on cosine scores. It must
+// exceed twice the float32 scan's worst-case absolute error (~4e-6 for
+// dim ≤ 1024); 1e-3 leaves two orders of magnitude of slack.
+const scanEps = 1e-3
+
+// IndexClusters reports the cluster count the semantic index uses for a
+// store capacity: ~√capacity, clamped to [1, 256] — 32 clusters for the
+// paper's 1K store. Exported so experiments can translate an nprobe knob
+// into a probed fraction.
+func IndexClusters(capacity int) int { return indexClusters(capacity) }
+
+// indexClusters picks the cluster count for a store capacity.
+func indexClusters(capacity int) int {
+	k := int(math.Ceil(math.Sqrt(float64(capacity))))
+	if k < 1 {
+		k = 1
+	}
+	if k > 256 {
+		k = 256
+	}
+	return k
+}
+
+func newSemIndex(dim, capacity int) *semIndex {
+	k := indexClusters(capacity)
+	ix := &semIndex{
+		dim:         dim,
+		k:           k,
+		sums:        make([][]float64, k),
+		counts:      make([]int, k),
+		buckets:     make([][]int32, k),
+		slotCluster: make([]int32, capacity),
+		slotPos:     make([]int32, capacity),
+		sems:        make([]float32, capacity*dim),
+		norm2:       make([]float64, capacity),
+		invNorm2:    make([]float64, capacity),
+	}
+	for c := range ix.sums {
+		ix.sums[c] = make([]float64, dim)
+	}
+	for i := range ix.slotCluster {
+		ix.slotCluster[i] = -1
+	}
+	return ix
+}
+
+// sem returns slot's embedding view into the arena.
+func (ix *semIndex) sem(slot int32) []float32 {
+	return ix.sems[int(slot)*ix.dim : (int(slot)+1)*ix.dim]
+}
+
+// insert places sem at slot: the embedding is copied into the arena, its
+// norm cached, and the slot joins an empty centroid (seeding) or the
+// nearest one. The slot must be empty (fresh or just removed).
+func (ix *semIndex) insert(slot int, sem []float32) {
+	copy(ix.sem(int32(slot)), sem)
+	n2 := tensor.Norm2F32(sem)
+	ix.norm2[slot] = n2
+	if n2 > 0 {
+		ix.invNorm2[slot] = 1 / n2
+	} else {
+		ix.invNorm2[slot] = 0
+	}
+	c := ix.chooseCluster(slot)
+	ix.slotCluster[slot] = int32(c)
+	ix.slotPos[slot] = int32(len(ix.buckets[c]))
+	ix.buckets[c] = append(ix.buckets[c], int32(slot))
+	ix.counts[c]++
+	sum := ix.sums[c]
+	for i, x := range sem {
+		sum[i] += float64(x)
+	}
+}
+
+// remove detaches slot from its bucket (swap-removal) and subtracts its
+// embedding from the centroid sum. No-op for empty slots.
+func (ix *semIndex) remove(slot int) {
+	c := ix.slotCluster[slot]
+	if c < 0 {
+		return
+	}
+	b := ix.buckets[c]
+	pos := ix.slotPos[slot]
+	last := int32(len(b) - 1)
+	moved := b[last]
+	b[pos] = moved
+	ix.slotPos[moved] = pos
+	ix.buckets[c] = b[:last]
+	ix.counts[c]--
+	sum := ix.sums[c]
+	for i, x := range ix.sem(int32(slot)) {
+		sum[i] -= float64(x)
+	}
+	ix.slotCluster[slot] = -1
+}
+
+// chooseCluster returns the cluster a fresh slot joins: the lowest-id
+// empty cluster when one exists (this both seeds the index over the first
+// k insertions and re-seeds buckets drained by evictions), otherwise the
+// centroid with the highest cosine similarity (ties toward the lower id,
+// for determinism).
+func (ix *semIndex) chooseCluster(slot int) int {
+	best, bestSim := -1, math.Inf(-1)
+	s := ix.sem(int32(slot))
+	for c := 0; c < ix.k; c++ {
+		if ix.counts[c] == 0 {
+			return c
+		}
+		if sim := ix.centroidSimF32(c, s); sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	return best
+}
+
+// centroidSimF32 scores cluster c's centroid against a stored embedding.
+// The centroid is sums[c]/counts[c]; the count cancels out of the cosine,
+// so the un-normalized sum is used directly.
+func (ix *semIndex) centroidSimF32(c int, s []float32) float64 {
+	var dot, n2 float64
+	sum := ix.sums[c]
+	for i, x := range sum {
+		dot += x * float64(s[i])
+		n2 += x * x
+	}
+	if n2 == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(n2)
+}
+
+// centroidSim scores cluster c's centroid against a float64 query (probe
+// ordering).
+func (ix *semIndex) centroidSim(c int, q []float64) float64 {
+	var dot, n2 float64
+	sum := ix.sums[c]
+	for i, x := range sum {
+		dot += x * q[i]
+		n2 += x * x
+	}
+	if n2 == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(n2)
+}
+
+// active returns the number of non-empty clusters.
+func (ix *semIndex) active() int {
+	n := 0
+	for _, c := range ix.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// probeOrder fills the scratch probe list with the non-empty clusters
+// ranked by centroid similarity to the query (ties toward the lower id)
+// and returns the ranked ids truncated to nprobe.
+func (ix *semIndex) probeOrder(sc *scanScratch, q []float64, nprobe int) []int32 {
+	ids := sc.ids[:0]
+	sims := sc.sims[:0]
+	for c := 0; c < ix.k; c++ {
+		if ix.counts[c] == 0 {
+			continue
+		}
+		ids = append(ids, int32(c))
+		sims = append(sims, ix.centroidSim(c, q))
+	}
+	sc.ids, sc.sims = ids, sims
+	// Insertion sort by (similarity desc, id asc): k is small (≤256) and
+	// the inline sort keeps probe ordering allocation-free.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && (sims[j] > sims[j-1] ||
+			(sims[j] == sims[j-1] && ids[j] < ids[j-1])); j-- {
+			sims[j], sims[j-1] = sims[j-1], sims[j]
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids[:nprobe]
+}
+
+// exactScore recomputes slot's cosine against the query with the
+// brute-force arithmetic: float64(float32) products accumulated in strict
+// element order, combined with the cached norms — bit-identical to
+// tensor.CosineF32 on the same vectors.
+func (ix *semIndex) exactScore(q *Query, slot int32) float64 {
+	s := ix.sem(slot)
+	q64 := q.sem64[:len(s)]
+	var d float64
+	for k, qk := range q64 {
+		d += qk * float64(s[k])
+	}
+	return tensor.CosineWithNorms(d, q.norm2, ix.norm2[slot])
+}
+
+// fastKey maps a float32 fast dot to a sqrt- and division-free ranking
+// key: sign(dot)·dot²·(1/||sem||²). For a fixed query, the key orders
+// candidates exactly as the cosine does (sign·cos² is monotone in cos and
+// the query norm is a shared positive factor), so the fast phase never
+// pays the per-candidate sqrt a cosine would. Zero-norm embeddings key to
+// 0, matching CosineF32's zero-norm convention.
+func (ix *semIndex) fastKey(dot float32, slot int32) float64 {
+	d := float64(dot)
+	key := d * d * ix.invNorm2[slot]
+	if d < 0 {
+		return -key
+	}
+	return key
+}
+
+// keyEps converts the scanEps cosine margin into key space for a query:
+// |d(key)/d(cos)| = 2·|cos|·qn2 ≤ 2·qn2, so a key margin of 2·qn2·scanEps
+// retains every candidate within scanEps cosine of the best.
+func keyEps(qn2 float64) float64 { return 2 * qn2 * scanEps }
+
+// keepNear folds one fast-phase candidate into the near-best scratch:
+// candidates within eps (key space) of the running best are retained for
+// exact re-scoring; a new best lazily invalidates stale entries (filtered
+// in resolve).
+func (ix *semIndex) keepNear(sc *scanScratch, slot int32, key, best, eps float64) float64 {
+	if key >= best-eps {
+		sc.near = append(sc.near, slotScore{slot, key})
+		if key > best {
+			best = key
+		}
+	}
+	return best
+}
+
+// resolve exact-rescores the retained near-best candidates and returns
+// the winner under (score desc, slot asc). Returns slot -1 when the fast
+// phase retained nothing (empty probe set).
+func (ix *semIndex) resolve(sc *scanScratch, q *Query, best, eps float64) (int32, float64) {
+	bestSlot, bestScore := int32(-1), math.Inf(-1)
+	for _, c := range sc.near {
+		if c.score < best-eps {
+			continue // stale: superseded by a later, better fast key
+		}
+		score := ix.exactScore(q, c.slot)
+		if score > bestScore || (score == bestScore && c.slot < bestSlot) {
+			bestSlot, bestScore = c.slot, score
+		}
+	}
+	return bestSlot, bestScore
+}
+
+// scanAllFast sweeps slots [0, n) in arena order — the exact-mode fast
+// phase. The kernel blocks eight slots per pass with one float32
+// accumulator chain each; the sweep streams the arena sequentially, which
+// the hardware prefetcher follows. Returns the running fast best after
+// folding every candidate into the near-best scratch.
+func (ix *semIndex) scanAllFast(sc *scanScratch, q *Query, n int, best float64) float64 {
+	dim := ix.dim
+	qf := q.semF[:dim]
+	eps := keyEps(q.norm2)
+	slot := 0
+	for ; slot+4 <= n; slot += 4 {
+		d0, d1, d2, d3 := tensor.FastDot4F32(qf, ix.sems[slot*dim:(slot+4)*dim], dim)
+		best = ix.keepNear(sc, int32(slot), ix.fastKey(d0, int32(slot)), best, eps)
+		best = ix.keepNear(sc, int32(slot+1), ix.fastKey(d1, int32(slot+1)), best, eps)
+		best = ix.keepNear(sc, int32(slot+2), ix.fastKey(d2, int32(slot+2)), best, eps)
+		best = ix.keepNear(sc, int32(slot+3), ix.fastKey(d3, int32(slot+3)), best, eps)
+	}
+	for ; slot < n; slot++ {
+		best = ix.keepNear(sc, int32(slot),
+			ix.fastKey(tensor.FastDotF32(qf, ix.sems[slot*dim:][:dim]), int32(slot)), best, eps)
+	}
+	return best
+}
+
+// scanBucketFast runs the fast phase over one bucket's (scattered) slots.
+func (ix *semIndex) scanBucketFast(sc *scanScratch, q *Query, b []int32, best float64) float64 {
+	dim := ix.dim
+	qf := q.semF[:dim]
+	eps := keyEps(q.norm2)
+	for _, slot := range b {
+		d := tensor.FastDotF32(qf, ix.sems[int(slot)*dim:][:dim])
+		best = ix.keepNear(sc, slot, ix.fastKey(d, slot), best, eps)
+	}
+	return best
+}
+
+// search returns the best slot over the probed candidates under
+// (score desc, slot asc) with the exact brute-force score. Probe-all mode
+// (nprobe <= 0, or nprobe covering every active cluster) scans the n live
+// slots via the sequential arena sweep and returns byte-identical results
+// to the seed's linear scan. Returns slot -1 on an empty index.
+func (ix *semIndex) search(q *Query, nprobe, n int) (int32, float64) {
+	sc := scanScratchPool.Get().(*scanScratch)
+	sc.near = sc.near[:0]
+	best := math.Inf(-1)
+	if nprobe <= 0 || nprobe >= ix.active() {
+		best = ix.scanAllFast(sc, q, n, best)
+	} else {
+		for _, c := range ix.probeOrder(sc, q.Sem, nprobe) {
+			best = ix.scanBucketFast(sc, q, ix.buckets[c], best)
+		}
+	}
+	slot, score := ix.resolve(sc, q, best, keyEps(q.norm2))
+	scanScratchPool.Put(sc)
+	return slot, score
+}
+
+// slotScore pairs a store slot with its semantic score for top-N
+// selection.
+type slotScore struct {
+	slot  int32
+	score float64
+}
+
+// topN computes the probed candidates' top keep under the exact
+// (score desc, slot asc) order — the brute-force prefilter's comparator.
+// The fast phase scores every probed slot into dst; the boundary region
+// (fast score within scanEps of the keep-th best) is re-scored exactly, so
+// the selection and its ordering match a full exact sort. n is the live
+// population; dst is a caller-owned scratch (pooled by the searcher); the
+// returned slice aliases it.
+func (ix *semIndex) topN(q *Query, nprobe, keep, n int, dst []slotScore) []slotScore {
+	dim := ix.dim
+	qf := q.semF[:dim]
+	if nprobe <= 0 || nprobe >= ix.active() {
+		slot := 0
+		for ; slot+4 <= n; slot += 4 {
+			d0, d1, d2, d3 := tensor.FastDot4F32(qf, ix.sems[slot*dim:(slot+4)*dim], dim)
+			dst = append(dst,
+				slotScore{int32(slot), ix.fastKey(d0, int32(slot))},
+				slotScore{int32(slot + 1), ix.fastKey(d1, int32(slot+1))},
+				slotScore{int32(slot + 2), ix.fastKey(d2, int32(slot+2))},
+				slotScore{int32(slot + 3), ix.fastKey(d3, int32(slot+3))})
+		}
+		for ; slot < n; slot++ {
+			d := tensor.FastDotF32(qf, ix.sems[slot*dim:][:dim])
+			dst = append(dst, slotScore{int32(slot), ix.fastKey(d, int32(slot))})
+		}
+	} else {
+		sc := scanScratchPool.Get().(*scanScratch)
+		for _, c := range ix.probeOrder(sc, q.Sem, nprobe) {
+			for _, slot := range ix.buckets[c] {
+				d := tensor.FastDotF32(qf, ix.sems[int(slot)*dim:][:dim])
+				dst = append(dst, slotScore{slot, ix.fastKey(d, slot)})
+			}
+		}
+		scanScratchPool.Put(sc)
+	}
+	sortSlotScores(dst)
+	if keep <= 0 || keep >= len(dst) {
+		// Everything survives: re-score exactly and order by the exact
+		// comparator.
+		for i := range dst {
+			dst[i].score = ix.exactScore(q, dst[i].slot)
+		}
+		sortSlotScores(dst)
+		return dst
+	}
+	// Exact re-score of the boundary region: every candidate whose fast
+	// score could still belong in the exact top keep.
+	cut := dst[keep-1].score - keyEps(q.norm2)
+	m := keep
+	for m < len(dst) && dst[m].score >= cut {
+		m++
+	}
+	region := dst[:m]
+	for i := range region {
+		region[i].score = ix.exactScore(q, region[i].slot)
+	}
+	sortSlotScores(region)
+	return region[:keep]
+}
+
+// sortSlotScores orders by (score desc, slot asc) — a strict total order,
+// so the result is deterministic.
+func sortSlotScores(ss []slotScore) {
+	slices.SortFunc(ss, func(a, b slotScore) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		case a.slot < b.slot:
+			return -1
+		case a.slot > b.slot:
+			return 1
+		}
+		return 0
+	})
+}

@@ -58,10 +58,12 @@ func PredictIteration(s *Searcher, it *moe.Iteration, opt PredictOptions) Predic
 		return SelectExpertsStatic(probs, opt.TopK)
 	}
 
+	// One prepared query serves the semantic search and the cursor.
+	q := s.Prepare(it.Semantic)
 	var sem SearchResult
 	var semOK bool
 	if opt.UseSemantic {
-		sem, semOK = s.SemanticSearch(it.Semantic)
+		sem, semOK = s.SemanticSearchQ(q)
 		if semOK {
 			pred.SemScore = sem.Score
 			for l := 0; l < opt.D && l < cfg.Layers; l++ {
@@ -70,7 +72,9 @@ func PredictIteration(s *Searcher, it *moe.Iteration, opt PredictOptions) Predic
 		}
 	}
 
-	cur := s.NewCursor(it.Semantic)
+	cur := s.NewCursorQ(q)
+	q.Release()
+	defer cur.Release()
 	for lNow := 0; lNow < cfg.Layers; lNow++ {
 		if cur != nil {
 			cur.Observe(it.Probs[lNow])

@@ -6,6 +6,7 @@ import (
 	"finemoe/internal/cluster"
 	"finemoe/internal/metrics"
 	"finemoe/internal/moe"
+	"finemoe/internal/par"
 	"finemoe/internal/serve"
 	"finemoe/internal/workload"
 )
@@ -90,18 +91,41 @@ func autoscaleRun(c *Context, cfg moe.Config, trace []workload.Request, fixed in
 // instance-hours; shrink events fire during the post-burst drain.
 func runAutoscaleFig(c *Context) (*Output, error) {
 	cfg := paperModels()[0] // Mixtral-8x7B, the paper's lead model
-	t := metrics.NewTable("load_mult", "fleet", "p99_ttft_s", "ttft_s",
-		"hit_rate", "instance_hours", "grows", "shrinks")
+	c.Model(cfg)            // warm the memoized simulator before fanning out
+	type job struct {
+		mult  float64
+		trace []workload.Request
+		fixed int // <= 0 runs the autoscaled fleet
+	}
+	var jobs []job
 	for _, mult := range []float64{1, 2, 4} {
+		// One trace per load multiplier, shared read-only by its four
+		// fleet cells (RunTrace copies requests by value).
 		trace := autoscaleTrace(c, cfg, mult)
 		for _, n := range []int{1, 2, clusterInstances} {
-			res := autoscaleRun(c, cfg, trace, n)
-			t.Row(fmt.Sprintf("%.0fx", mult), fmt.Sprintf("fixed-%d", n),
+			jobs = append(jobs, job{mult, trace, n})
+		}
+		jobs = append(jobs, job{mult, trace, 0})
+	}
+	// Each (load, fleet) cell replays the sweep trace on an independent
+	// fleet; the bounded worker pool runs them concurrently and rows are
+	// emitted in sweep order, keeping the table byte-identical to a
+	// serial sweep.
+	results := make([]*cluster.Result, len(jobs))
+	par.ForEach(c.Workers, len(jobs), func(i int) {
+		results[i] = autoscaleRun(c, cfg, jobs[i].trace, jobs[i].fixed)
+	})
+	t := metrics.NewTable("load_mult", "fleet", "p99_ttft_s", "ttft_s",
+		"hit_rate", "instance_hours", "grows", "shrinks")
+	for i, j := range jobs {
+		res := results[i]
+		if j.fixed > 0 {
+			t.Row(fmt.Sprintf("%.0fx", j.mult), fmt.Sprintf("fixed-%d", j.fixed),
 				metrics.Seconds(res.TTFT.P99), metrics.Seconds(res.MeanTTFT),
 				fmt.Sprintf("%.3f", res.HitRate),
 				fmt.Sprintf("%.5f", res.InstanceHours), 0, 0)
+			continue
 		}
-		res := autoscaleRun(c, cfg, trace, 0)
 		grows, shrinks := 0, 0
 		for _, ev := range res.ScaleEvents {
 			if ev.Kind == "grow" {
@@ -110,7 +134,7 @@ func runAutoscaleFig(c *Context) (*Output, error) {
 				shrinks++
 			}
 		}
-		t.Row(fmt.Sprintf("%.0fx", mult), "autoscaled",
+		t.Row(fmt.Sprintf("%.0fx", j.mult), "autoscaled",
 			metrics.Seconds(res.TTFT.P99), metrics.Seconds(res.MeanTTFT),
 			fmt.Sprintf("%.3f", res.HitRate),
 			fmt.Sprintf("%.5f", res.InstanceHours), grows, shrinks)

@@ -7,6 +7,7 @@ import (
 	"finemoe/internal/core"
 	"finemoe/internal/metrics"
 	"finemoe/internal/moe"
+	"finemoe/internal/par"
 	"finemoe/internal/serve"
 	"finemoe/internal/workload"
 )
@@ -76,21 +77,42 @@ func clusterTrace(c *Context, cfg moe.Config, mult float64) []workload.Request {
 // paper's semantic-search argument (§4.2).
 func runClusterFig(c *Context) (*Output, error) {
 	cfg := paperModels()[0] // Mixtral-8x7B, the paper's lead model
-	t := metrics.NewTable("load_mult", "router", "ttft_s", "p99_ttft_s", "tpot_s", "hit_rate", "rejected")
+	c.Model(cfg)            // warm the memoized simulator before fanning out
+	routers := clusterRouters()
+	type job struct {
+		mult   float64
+		trace  []workload.Request
+		router int
+	}
+	var jobs []job
 	for _, mult := range []float64{1, 2, 4} {
+		// One trace per load multiplier, shared read-only by the three
+		// router cells (RunTrace copies requests by value).
 		trace := clusterTrace(c, cfg, mult)
-		for _, r := range clusterRouters() {
-			cl := cluster.New(cluster.Options{
-				Engines:   clusterEngines(c, cfg, clusterInstances),
-				Admission: cluster.NewAlwaysAdmit(),
-				Router:    r.mk(),
-			})
-			res := cl.RunTrace(trace)
-			t.Row(fmt.Sprintf("%.0fx", mult), r.name,
-				metrics.Seconds(res.MeanTTFT), metrics.Seconds(res.TTFT.P99),
-				metrics.Seconds(res.MeanTPOT),
-				fmt.Sprintf("%.3f", res.HitRate), res.Rejected)
+		for ri := range routers {
+			jobs = append(jobs, job{mult, trace, ri})
 		}
+	}
+	// Every (load, router) cell is an independent fleet; run them on the
+	// bounded worker pool and emit rows in sweep order, so the table is
+	// byte-identical to the serial sweep.
+	results := make([]*cluster.Result, len(jobs))
+	par.ForEach(c.Workers, len(jobs), func(i int) {
+		j := jobs[i]
+		cl := cluster.New(cluster.Options{
+			Engines:   clusterEngines(c, cfg, clusterInstances),
+			Admission: cluster.NewAlwaysAdmit(),
+			Router:    routers[j.router].mk(),
+		})
+		results[i] = cl.RunTrace(j.trace)
+	})
+	t := metrics.NewTable("load_mult", "router", "ttft_s", "p99_ttft_s", "tpot_s", "hit_rate", "rejected")
+	for i, j := range jobs {
+		res := results[i]
+		t.Row(fmt.Sprintf("%.0fx", j.mult), routers[j.router].name,
+			metrics.Seconds(res.MeanTTFT), metrics.Seconds(res.TTFT.P99),
+			metrics.Seconds(res.MeanTPOT),
+			fmt.Sprintf("%.3f", res.HitRate), res.Rejected)
 	}
 	return &Output{ID: "clusterfig",
 		Title: "Cluster routing policies, 4-instance fleet (LMSYS, Azure-style arrivals)",

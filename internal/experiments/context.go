@@ -72,6 +72,12 @@ type Context struct {
 	// GPU/NumGPUs define the default testbed (paper: 6× RTX 3090).
 	GPU     memsim.GPUSpec
 	NumGPUs int
+	// Workers bounds the cluster-sweep experiments' run-level parallelism
+	// (scenariofig's matrix, clusterfig's and autoscalefig's load × fleet
+	// grids): 0 uses GOMAXPROCS, 1 forces serial. Tables are
+	// byte-identical regardless of the value — runs are independent and
+	// rows are emitted in sweep order.
+	Workers int
 
 	mu     sync.Mutex
 	models map[string]*moe.Model

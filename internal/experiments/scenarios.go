@@ -95,7 +95,8 @@ func scenarioRunner(c *Context) *scenarios.Runner {
 		GPU:   c.GPU, NumGPUs: c.NumGPUs,
 		StoreCapacity: c.Scale.StoreCapacity,
 		MaxInput:      c.Scale.MaxInput, MaxOutput: c.Scale.MaxOutput,
-		Seed: c.Seed,
+		Seed:    c.Seed,
+		Workers: c.Workers,
 	})
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestSearchFigAcceptance pins the approximate-search experiment's shape:
+// the exact row has recall 1 (it IS the reference), modeled semantic
+// search latency is non-increasing as nprobe falls, recall degrades
+// monotonically-ish but stays useful at nprobe=8, and the end-to-end hit
+// rate never collapses (the dynamic-threshold selection absorbs small
+// search errors).
+func TestSearchFigAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("searchfig sweep is not short")
+	}
+	out, err := Run(smallCtx(), "searchfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	rows := out.Table.Rows()
+	iProbe, iRecall := col(t, h, "nprobe"), col(t, h, "recall@1")
+	iHit, iSem := col(t, h, "hit_rate"), col(t, h, "sem_search_ms")
+	if len(rows) != len(searchProbes()) {
+		t.Fatalf("sweep has %d rows, want %d", len(rows), len(searchProbes()))
+	}
+	if rows[0][iProbe] != "exact" {
+		t.Fatalf("first row is %q, want the exact anchor", rows[0][iProbe])
+	}
+	exactRecall := cell(t, rows[0][iRecall])
+	exactHit := cell(t, rows[0][iHit])
+	if exactRecall != 1 {
+		t.Fatalf("exact-mode recall %.3f, want 1 (parity contract)", exactRecall)
+	}
+	prevSem := cell(t, rows[0][iSem])
+	for _, r := range rows[1:] {
+		sem := cell(t, r[iSem])
+		if sem > prevSem {
+			t.Errorf("nprobe=%s: modeled search latency %.4f above the previous row's %.4f",
+				r[iProbe], sem, prevSem)
+		}
+		prevSem = sem
+		if rec := cell(t, r[iRecall]); rec > 1 || rec <= 0.3 {
+			t.Errorf("nprobe=%s: recall %.3f out of plausible range", r[iProbe], rec)
+		}
+		if hit := cell(t, r[iHit]); hit < exactHit-0.05 {
+			t.Errorf("nprobe=%s: hit rate %.3f collapsed vs exact %.3f", r[iProbe], hit, exactHit)
+		}
+	}
+	// The most aggressive setting must model a real latency win.
+	last := cell(t, rows[len(rows)-1][iSem])
+	if last >= cell(t, rows[0][iSem]) {
+		t.Errorf("nprobe=1 modeled latency %.4f not below exact %.4f", last, cell(t, rows[0][iSem]))
+	}
+}

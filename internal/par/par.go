@@ -1,0 +1,48 @@
+// Package par provides the bounded worker pool the parallel sweeps are
+// built on — one implementation shared by the scenario runner and the
+// experiment grids so their scheduling semantics cannot diverge.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on a bounded worker pool and returns when every
+// call has finished. workers <= 0 uses GOMAXPROCS; workers == 1 (or
+// n <= 1) degrades to a plain loop. Each fn(i) must be independent of the
+// others and write only to its own index of any result slice — under that
+// contract the outcome is identical to the serial loop regardless of
+// worker count or scheduling, which is what keeps the sweeps' outputs
+// byte-stable.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

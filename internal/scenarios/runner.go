@@ -10,6 +10,7 @@ import (
 	"finemoe/internal/memsim"
 	"finemoe/internal/metrics"
 	"finemoe/internal/moe"
+	"finemoe/internal/par"
 	"finemoe/internal/serve"
 	"finemoe/internal/workload"
 )
@@ -35,6 +36,12 @@ type Options struct {
 	MaxInput, MaxOutput int
 	// Seed drives workload sampling and the model simulator.
 	Seed uint64
+	// Workers bounds RunMatrix's scenario-level parallelism: 0 uses
+	// GOMAXPROCS, 1 forces the serial path, n > 1 runs at most n
+	// scenarios concurrently. Reports are byte-identical regardless of
+	// the worker count — every scenario run is a pure function of
+	// (Options, Scenario), and results are ordered by matrix position.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -338,16 +345,24 @@ func (r *Runner) Run(sc Scenario) (*Report, error) {
 	return rep, nil
 }
 
-// RunMatrix executes a scenario matrix in order and returns one report
-// per scenario.
+// RunMatrix executes a scenario matrix and returns one report per
+// scenario, in matrix order. Scenarios run on a bounded worker pool
+// (Options.Workers); each run builds its own fleet and trace and shares
+// only the read-only model simulator, so the reports — and their
+// serialized bytes — are identical to a serial sweep regardless of the
+// worker count or scheduling. On error, the error of the lowest-index
+// failing scenario is returned (what a serial sweep would have hit
+// first).
 func (r *Runner) RunMatrix(scs []Scenario) ([]*Report, error) {
-	out := make([]*Report, 0, len(scs))
-	for _, sc := range scs {
-		rep, err := r.Run(sc)
+	reports := make([]*Report, len(scs))
+	errs := make([]error, len(scs))
+	par.ForEach(r.opts.Workers, len(scs), func(i int) {
+		reports[i], errs[i] = r.Run(scs[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, rep)
 	}
-	return out, nil
+	return reports, nil
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+
+	"finemoe/internal/core"
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+	"finemoe/internal/rng"
+	"finemoe/internal/tensor"
+	"finemoe/internal/workload"
+)
+
+// benchTrace samples a small online trace over the tiny model.
+func benchTrace(cfg moe.Config, n int) []workload.Request {
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		emb := make([]float64, cfg.SemDim)
+		rng.New(rng.Mix(3, uint64(i))).UnitVec(emb)
+		tensor.Normalize(emb)
+		reqs[i] = workload.Request{
+			ArrivalMS: float64(i) * 20,
+			PromptSpec: moe.PromptSpec{
+				ID: uint64(i), Embedding: emb,
+				InputTokens: 6, OutputTokens: 8, Seed: rng.Mix(5, uint64(i)),
+			},
+		}
+	}
+	return reqs
+}
+
+// BenchmarkEngineOnline measures the steppable engine end to end under the
+// FineMoE policy — the per-instance cost the cluster loop and the parallel
+// scenario runner multiply out. The policy path includes the indexed
+// semantic search and the shared-query cursor, so regressions in the core
+// search hot path surface here as serving throughput.
+func BenchmarkEngineOnline(b *testing.B) {
+	cfg := moe.Tiny()
+	model := moe.NewModel(cfg, 1)
+	trace := benchTrace(cfg, 16)
+	traces := make(map[uint64][]*moe.Iteration, len(trace))
+	for _, q := range trace {
+		traces[q.ID] = model.Trace(q.PromptSpec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol := core.NewFineMoE(core.NewStore(cfg, 200, cfg.OptimalPrefetchDistance), core.Options{})
+		eng := New(Options{
+			Model: model, GPU: memsim.RTX3090(), NumGPUs: 2, Policy: pol,
+		})
+		eng.RunOnline(trace, traces)
+	}
+}

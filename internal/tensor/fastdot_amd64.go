@@ -1,0 +1,35 @@
+//go:build amd64
+
+package tensor
+
+// FastDotF32 returns an approximate float32 inner product of a and b over
+// min(len(a), len(b)) elements, accumulated 4-lane SIMD (SSE2) with two
+// parallel accumulators. The association differs from element order, so
+// results are NOT bit-comparable to DotF32 — the error is bounded by the
+// usual ~n·2⁻²⁴·|a||b| analysis (tighter than element order, in fact,
+// since each lane folds only n/8 terms). Use it only as a prefilter whose
+// survivors are re-scored with the exact kernel; never compare its output
+// across architectures.
+//
+//go:noescape
+func FastDotF32(a, b []float32) float32
+
+// fastDot4F32 is the SSE2 four-row kernel behind FastDot4F32.
+//
+//go:noescape
+func fastDot4F32(q, rows *float32, dim int) (d0, d1, d2, d3 float32)
+
+// FastDot4F32 returns the approximate inner products of q[:dim] against
+// four consecutive dim-length rows of rows (the contiguous-slot layout of
+// the expert-map index's arena). Each query block is loaded once and
+// multiplied against all four rows, amortizing call and load overhead the
+// one-row kernel pays per candidate. Same approximate-association
+// contract as FastDotF32. It panics if q or rows is too short.
+func FastDot4F32(q, rows []float32, dim int) (d0, d1, d2, d3 float32) {
+	if dim <= 0 {
+		return 0, 0, 0, 0
+	}
+	_ = q[dim-1]
+	_ = rows[4*dim-1]
+	return fastDot4F32(&q[0], &rows[0], dim)
+}

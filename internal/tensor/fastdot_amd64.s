@@ -1,0 +1,154 @@
+// SSE2 fast-phase dot kernel. SSE2 is part of the amd64 baseline, so no
+// runtime feature detection is needed. Accumulation is 4-lane SIMD with
+// two parallel accumulators (arbitrary association — see FastDotF32's
+// contract: prefilter use only, never byte-compared).
+
+#include "textflag.h"
+
+// func FastDotF32(a, b []float32) float32
+TEXT ·FastDotF32(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	MOVQ b_len+32(FP), DX
+	CMPQ DX, CX
+	CMOVQLT DX, CX          // CX = min(len(a), len(b))
+	XORPS X0, X0            // accumulator 0
+	XORPS X3, X3            // accumulator 1
+	MOVQ CX, BX
+	SHRQ $3, BX             // 8-element blocks
+	JZ   tail
+loop:
+	MOVUPS (SI), X1
+	MOVUPS (DI), X2
+	MULPS  X2, X1
+	ADDPS  X1, X0
+	MOVUPS 16(SI), X4
+	MOVUPS 16(DI), X5
+	MULPS  X5, X4
+	ADDPS  X4, X3
+	ADDQ   $32, SI
+	ADDQ   $32, DI
+	DECQ   BX
+	JNZ    loop
+tail:
+	ADDPS  X3, X0
+	// Horizontal sum of X0's four lanes into lane 0.
+	MOVAPS X0, X1
+	SHUFPS $0xB1, X1, X1    // [b a d c]
+	ADDPS  X1, X0           // [a+b a+b c+d c+d]
+	MOVAPS X0, X1
+	SHUFPS $0x4E, X1, X1    // [c+d c+d a+b a+b]
+	ADDPS  X1, X0           // lane 0 = a+b+c+d
+	MOVQ   CX, BX
+	ANDQ   $7, BX
+	JZ     done
+scalar:
+	MOVSS  (SI), X1
+	MULSS  (DI), X1
+	ADDSS  X1, X0
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   BX
+	JNZ    scalar
+done:
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func fastDot4F32(q, rows *float32, dim int) (d0, d1, d2, d3 float32)
+// Four dots of q against four consecutive dim-length rows starting at
+// rows. Each query block is loaded once and multiplied against all four
+// rows (the exact-mode sweep's layout: consecutive store slots).
+TEXT ·fastDot4F32(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), SI
+	MOVQ rows+8(FP), DI
+	MOVQ dim+16(FP), CX
+	MOVQ CX, AX
+	SHLQ $2, AX             // row stride in bytes
+	LEAQ (DI)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	MOVQ CX, BX
+	SHRQ $2, BX             // 4-float blocks
+	JZ   tail
+loop:
+	MOVUPS (SI), X0
+	MOVUPS (DI), X5
+	MULPS  X0, X5
+	ADDPS  X5, X1
+	MOVUPS (R9), X6
+	MULPS  X0, X6
+	ADDPS  X6, X2
+	MOVUPS (R10), X7
+	MULPS  X0, X7
+	ADDPS  X7, X3
+	MOVUPS (R11), X8
+	MULPS  X0, X8
+	ADDPS  X8, X4
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+	DECQ   BX
+	JNZ    loop
+tail:
+	MOVQ CX, BX
+	ANDQ $3, BX
+	JZ   reduce
+tailloop:
+	MOVSS  (SI), X0
+	MOVSS  (DI), X5
+	MULSS  X0, X5
+	ADDSS  X5, X1
+	MOVSS  (R9), X6
+	MULSS  X0, X6
+	ADDSS  X6, X2
+	MOVSS  (R10), X7
+	MULSS  X0, X7
+	ADDSS  X7, X3
+	MOVSS  (R11), X8
+	MULSS  X0, X8
+	ADDSS  X8, X4
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	ADDQ   $4, R9
+	ADDQ   $4, R10
+	ADDQ   $4, R11
+	DECQ   BX
+	JNZ    tailloop
+reduce:
+	// Horizontal sums: lane-fold each accumulator into lane 0.
+	MOVAPS X1, X0
+	SHUFPS $0xB1, X0, X0
+	ADDPS  X0, X1
+	MOVAPS X1, X0
+	SHUFPS $0x4E, X0, X0
+	ADDPS  X0, X1
+	MOVSS  X1, d0+24(FP)
+	MOVAPS X2, X0
+	SHUFPS $0xB1, X0, X0
+	ADDPS  X0, X2
+	MOVAPS X2, X0
+	SHUFPS $0x4E, X0, X0
+	ADDPS  X0, X2
+	MOVSS  X2, d1+28(FP)
+	MOVAPS X3, X0
+	SHUFPS $0xB1, X0, X0
+	ADDPS  X0, X3
+	MOVAPS X3, X0
+	SHUFPS $0x4E, X0, X0
+	ADDPS  X0, X3
+	MOVSS  X3, d2+32(FP)
+	MOVAPS X4, X0
+	SHUFPS $0xB1, X0, X0
+	ADDPS  X0, X4
+	MOVAPS X4, X0
+	SHUFPS $0x4E, X0, X0
+	ADDPS  X0, X4
+	MOVSS  X4, d3+36(FP)
+	RET

@@ -1,0 +1,44 @@
+//go:build !amd64
+
+package tensor
+
+// FastDotF32 returns an approximate float32 inner product of a and b over
+// min(len(a), len(b)) elements — the portable fallback for the SSE2
+// kernel in fastdot_amd64.s: four-way unrolled with pairwise tree folds,
+// which shortens the serial add-latency chain scalar dot products are
+// bound by. Association differs from element order, so results are NOT
+// bit-comparable to DotF32 (nor to the amd64 kernel); use only as a
+// prefilter whose survivors are re-scored with the exact kernel.
+func FastDotF32(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var d0, d1 float32
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		d0 += a[k]*b[k] + a[k+1]*b[k+1]
+		d1 += a[k+2]*b[k+2] + a[k+3]*b[k+3]
+	}
+	for ; k < n; k++ {
+		d0 += a[k] * b[k]
+	}
+	return d0 + d1
+}
+
+// FastDot4F32 returns the approximate inner products of q[:dim] against
+// four consecutive dim-length rows of rows — the portable fallback for
+// the SSE2 kernel. Same approximate-association contract as FastDotF32.
+// It panics if q or rows is too short.
+func FastDot4F32(q, rows []float32, dim int) (d0, d1, d2, d3 float32) {
+	if dim <= 0 {
+		return 0, 0, 0, 0
+	}
+	q = q[:dim]
+	d0 = FastDotF32(q, rows[0*dim:1*dim])
+	d1 = FastDotF32(q, rows[1*dim:2*dim])
+	d2 = FastDotF32(q, rows[2*dim:3*dim])
+	d3 = FastDotF32(q, rows[3*dim:4*dim])
+	return
+}

@@ -313,6 +313,51 @@ func Float64s(v []float32) []float64 {
 	return out
 }
 
+// DotF32 returns the inner product of a and b over float32 storage,
+// accumulated in float64 in element order — the same accumulation CosineF32
+// performs for its dot term, so DotF32(a,b)/√(Norm2F32(a)·Norm2F32(b))
+// reproduces CosineF32(a,b) bit for bit. The clustered expert-map index
+// relies on that identity: it caches Norm2F32 per stored embedding and
+// scans with DotF32, cutting per-candidate work to one multiply-add while
+// staying byte-identical to the brute-force cosine.
+func DotF32(a, b []float32) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot float64
+	for i := 0; i < n; i++ {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// Norm2F32 returns the squared Euclidean norm of v, accumulated in float64
+// in element order (matching CosineF32's norm accumulation — see DotF32).
+func Norm2F32(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return s
+}
+
+// CosineWithNorms combines a DotF32 dot product with two cached squared
+// norms into the clamped cosine similarity, returning 0 when either norm is
+// zero — exactly CosineF32's contract.
+func CosineWithNorms(dot, na2, nb2 float64) float64 {
+	if na2 == 0 || nb2 == 0 {
+		return 0
+	}
+	c := dot / math.Sqrt(na2*nb2)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
 // CosineF32 computes cosine similarity over float32 storage without
 // converting to float64 slices (hot path of expert-map search).
 func CosineF32(a, b []float32) float64 {

@@ -443,3 +443,54 @@ func BenchmarkCosineF32_1536(b *testing.B) {
 		_ = CosineF32(a, c)
 	}
 }
+
+// TestFastDotF32ApproximatesDotF32: the fast kernel (SIMD on amd64,
+// pairwise-tree fallback elsewhere) must agree with the exact
+// element-order dot within the rounding bound the index's scanEps margin
+// budgets for, across lengths covering blocks, tails, and length
+// mismatches.
+func TestFastDotF32ApproximatesDotF32(t *testing.T) {
+	r := rng.New(91)
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 9, 15, 16, 17, 63, 64, 65, 256} {
+		a := make([]float32, n)
+		b := make([]float32, n+3) // fast kernel must respect min length
+		for i := range a {
+			a[i] = float32(r.Float64()*2 - 1)
+		}
+		for i := range b {
+			b[i] = float32(r.Float64()*2 - 1)
+		}
+		got := float64(FastDotF32(a, b))
+		want := DotF32(a, b)
+		if diff := math.Abs(got - want); diff > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: fast %v vs exact %v (diff %v)", n, got, want, diff)
+		}
+		if FastDotF32(b, a) != FastDotF32(a, b) {
+			t.Fatalf("n=%d: fast dot not symmetric", n)
+		}
+	}
+}
+
+// TestFastDot4F32MatchesFastDotF32: the four-row kernel must agree with
+// four independent single-row fast dots within the scan error bound, for
+// dims covering SIMD blocks and scalar tails.
+func TestFastDot4F32Matches(t *testing.T) {
+	r := rng.New(93)
+	for _, dim := range []int{1, 3, 4, 5, 8, 16, 63, 64, 65} {
+		q := make([]float32, dim)
+		rows := make([]float32, 4*dim)
+		for i := range q {
+			q[i] = float32(r.Float64()*2 - 1)
+		}
+		for i := range rows {
+			rows[i] = float32(r.Float64()*2 - 1)
+		}
+		d0, d1, d2, d3 := FastDot4F32(q, rows, dim)
+		for i, got := range []float32{d0, d1, d2, d3} {
+			want := DotF32(q, rows[i*dim:(i+1)*dim])
+			if diff := math.Abs(float64(got) - want); diff > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("dim=%d row=%d: fast4 %v vs exact %v", dim, i, got, want)
+			}
+		}
+	}
+}
