@@ -12,12 +12,14 @@
 // Experiment IDs match DESIGN.md §3 (tab1, fig1b, fig3a–fig4, fig8–fig18,
 // abl-sync, abl-ep, abl-dedup), plus extensions beyond the paper:
 // clusterfig (the cluster router comparison under an Azure-trace load
-// sweep), autoscalefig (fixed fleets vs queue-pressure autoscaling), and
+// sweep), autoscalefig (fixed fleets vs queue-pressure autoscaling),
 // scenariofig (the scenario gauntlet: Poisson/MMPP/diurnal/flash-crowd
 // arrivals, closed-loop multi-turn sessions, and a two-tenant mix across
-// fixed round-robin and autoscaled semantic-affinity fleets). The "full"
-// scale uses the paper's workload parameters; "small" is a fast smoke
-// configuration.
+// fixed round-robin and autoscaled semantic-affinity fleets), searchfig
+// (approximate expert-map search), and memfig (the latency-memory
+// trade-off: p99 TTFT vs provisioned host DRAM under the three-tier
+// HBM/DRAM/NVMe hierarchy). The "full" scale uses the paper's workload
+// parameters; "small" is a fast smoke configuration.
 package main
 
 import (

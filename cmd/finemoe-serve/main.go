@@ -22,6 +22,15 @@
 //	finemoe-serve -model mixtral -addr :8080 -gpus 6 -cache-gb 27 \
 //	  -instances 4 -admission token-bucket -admit-rate 8 -router semantic
 //
+// With -dram-gb each instance's host DRAM is bounded: experts beyond the
+// budget live on a simulated NVMe tier and pay NVMe->DRAM->HBM staging
+// on distinct contended links when fetched. /v1/stats then reports
+// per-tier residency and transfer activity plus each instance's memory
+// pressure, and the memory-aware router (-router memory-aware) breaks
+// load ties toward instances with DRAM headroom:
+//
+//	finemoe-serve -model mixtral -instances 4 -dram-gb 24 -router memory-aware
+//
 // With -autoscale the fleet resizes itself on queue pressure, evaluated
 // at each admitted arrival: sustained load above the high watermark adds
 // an instance (up to -max-instances, reusing drained retired replicas
@@ -89,12 +98,13 @@ func main() {
 		modelArg   = flag.String("model", "mixtral", "model: mixtral|qwen|phi|tiny")
 		gpus       = flag.Int("gpus", 6, "expert-parallel GPU count per instance")
 		cacheGB    = flag.Float64("cache-gb", 0, "expert cache budget per instance in GiB (0 = 30% of expert weights)")
+		dramGB     = flag.Float64("dram-gb", 0, "host DRAM budget per instance in GiB; experts beyond it spill to a simulated NVMe tier (0 = unbounded DRAM)")
 		seed       = flag.Uint64("seed", 42, "simulation seed")
 		instances  = flag.Int("instances", 1, "number of serving instances")
 		admitArg   = flag.String("admission", "always", "admission policy: always|token-bucket|reject-all")
 		admitBurst = flag.Float64("admit-burst", 32, "token-bucket capacity (with -admission token-bucket)")
 		admitRate  = flag.Float64("admit-rate", 8, "token-bucket refill per second (with -admission token-bucket)")
-		routerArg  = flag.String("router", "least-loaded", "router policy: round-robin|least-loaded|semantic")
+		routerArg  = flag.String("router", "least-loaded", "router policy: round-robin|least-loaded|memory-aware|semantic")
 		autoscale  = flag.Bool("autoscale", false, "resize the fleet on queue pressure (grow under load, retire idle instances)")
 		minInst    = flag.Int("min-instances", 1, "autoscaling floor (with -autoscale)")
 		maxInst    = flag.Int("max-instances", 8, "autoscaling ceiling (with -autoscale)")
@@ -123,6 +133,7 @@ func main() {
 	if *cacheGB > 0 {
 		cacheBytes = int64(*cacheGB * float64(int64(1)<<30))
 	}
+	dramBytes := int64(*dramGB * float64(int64(1)<<30)) // 0 = unbounded DRAM
 	if *replayN > 0 {
 		ap, err := workload.ArrivalByName(strings.ToLower(*arrival), *arrRate)
 		if err != nil {
@@ -132,6 +143,7 @@ func main() {
 		runner := scenarios.NewRunner(scenarios.Options{
 			Model: cfg, GPU: memsim.RTX3090(), NumGPUs: *gpus, Seed: *seed,
 			CacheBytes: cacheBytes,
+			DRAMBytes:  dramBytes,
 		})
 		rep, err := runner.Run(scenarios.Scenario{
 			Name: "replay",
@@ -165,6 +177,7 @@ func main() {
 		Model: cfg, Seed: *seed,
 		GPU: memsim.RTX3090(), NumGPUs: *gpus,
 		CacheBytes:   cacheBytes,
+		DRAMBytes:    dramBytes,
 		Instances:    *instances,
 		Admission:    adm,
 		Router:       rt,

@@ -20,6 +20,14 @@
 //     offline and online (trace-driven) runners, plus a steppable
 //     event-driven surface (Submit / NextEventTime / Step / Drain) for
 //     external orchestration;
+//   - a tiered host-memory hierarchy under the engine: a per-expert
+//     residency state machine over GPU HBM -> bounded CPU DRAM -> NVMe,
+//     with staging transfers routed through intermediate tiers on distinct
+//     contended links, eviction-as-demotion under pluggable per-tier
+//     scorers, and memory-pressure signals feeding the cluster's routing
+//     and autoscaling (the degenerate two-tier configuration reproduces the
+//     pre-tiering engine byte-identically — see the memfig experiment for
+//     the latency-memory curve);
 //   - a cluster serving layer composing N engines behind an admission →
 //     routing → instance pipeline: pluggable admission (always-admit,
 //     token-bucket, reject-all) and routing (round-robin, least-loaded,
@@ -69,6 +77,7 @@ package finemoe
 
 import (
 	"finemoe/internal/baselines"
+	"finemoe/internal/cache"
 	"finemoe/internal/cluster"
 	"finemoe/internal/core"
 	"finemoe/internal/experiments"
@@ -208,6 +217,44 @@ func RTX3090() GPUSpec { return memsim.RTX3090() }
 
 // A100 returns the §6.5 high-end device.
 func A100() GPUSpec { return memsim.A100() }
+
+// --- Tiered memory hierarchy --------------------------------------------------
+
+// MemoryTierSpec describes one host-side memory tier: capacity plus the
+// bandwidth and fixed per-copy latency of the staging link that feeds
+// the tier above it.
+type MemoryTierSpec = memsim.TierSpec
+
+// MemoryHierarchy is the ordered host-side tier list below the GPU
+// expert cache (DRAM first, slower tiers after). Pass it through
+// EngineOptions.Memory; the zero value is the degenerate two-tier
+// configuration, byte-identical to the pre-tiering engine.
+type MemoryHierarchy = memsim.Hierarchy
+
+// TwoTierMemory returns the degenerate hierarchy: unbounded DRAM, no
+// staging tiers (the seed's memory model).
+func TwoTierMemory() MemoryHierarchy { return memsim.TwoTier() }
+
+// ThreeTierMemory bounds host DRAM at dramBytes and backs it with an
+// unbounded NVMe tier behind a shared staging link: experts beyond the
+// DRAM budget pay NVMe->DRAM->HBM routing on distinct contended links.
+func ThreeTierMemory(dramBytes int64) MemoryHierarchy { return memsim.ThreeTier(dramBytes) }
+
+// TierStat reports one memory tier's residency and transfer activity in
+// a Result (topmost tier — the GPU expert cache — first).
+type TierStat = serve.TierStat
+
+// CacheScorer ranks cache/tier residents for eviction and demotion; the
+// highest score goes first. LRUScorer and LFUScorer are the classic
+// policies; FineMoE's own similarity-aware priority is used when
+// EngineOptions.HostScorer is nil.
+type CacheScorer = cache.Scorer
+
+// LRUScorer evicts the least-recently-used expert.
+type LRUScorer = cache.LRU
+
+// LFUScorer evicts the least-frequently-used expert (use-rate aged).
+type LFUScorer = cache.LFU
 
 // --- FineMoE core ---------------------------------------------------------------
 
@@ -395,6 +442,11 @@ func NewRoundRobin() Router { return cluster.NewRoundRobin() }
 
 // NewLeastLoaded returns the join-shortest-queue router.
 func NewLeastLoaded() Router { return cluster.NewLeastLoaded() }
+
+// NewMemoryAware returns the memory-pressure-aware router: shortest
+// queue first, load ties broken toward the instance with the most host
+// DRAM headroom (identical to least-loaded on a degenerate fleet).
+func NewMemoryAware() Router { return cluster.NewMemoryAware() }
 
 // NewSemanticAffinity returns the FineMoE-aware router: semantically
 // similar prompts are routed to the instance whose Expert Map Store has

@@ -48,6 +48,17 @@ func (f *fakeRT) SyncLoad(refs []moe.ExpertRef, now float64) float64 {
 }
 func (f *fakeRT) Resident(ref moe.ExpertRef) bool { return f.resident[ref] }
 func (f *fakeRT) Tracked(moe.ExpertRef) bool      { return false }
+func (f *fakeRT) Tier(ref moe.ExpertRef) int {
+	if f.resident[ref] {
+		return 0
+	}
+	return 1
+}
+func (f *fakeRT) Promote(ref moe.ExpertRef, priority, issueTime float64) bool {
+	return f.Prefetch(ref, priority, issueTime)
+}
+func (f *fakeRT) Demote(moe.ExpertRef, float64) bool { return false }
+func (f *fakeRT) MemoryPressure() float64            { return 0 }
 
 func TestNoOffloadIsInert(t *testing.T) {
 	p := NewNoOffload()

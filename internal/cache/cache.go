@@ -85,6 +85,12 @@ type Cache struct {
 	entries  map[moe.ExpertRef]*Meta
 	scorer   Scorer
 	stats    Stats
+	// strictPinned refuses to evict pinned entries: an insert that finds
+	// every entry pinned is rejected (and counted) instead of evicting a
+	// pinned victim. Host DRAM tiers run strict — a pinned entry there is
+	// the source of an in-flight DMA and must not be dropped — while the
+	// GPU cache keeps the lenient last-resort semantics.
+	strictPinned bool
 }
 
 // New builds a cache holding at most capacity experts under the given
@@ -99,6 +105,15 @@ func New(capacity int, scorer Scorer) *Cache {
 		panic("cache: nil scorer")
 	}
 	return &Cache{capacity: capacity, entries: map[moe.ExpertRef]*Meta{}, scorer: scorer}
+}
+
+// NewStrictPinned builds a cache that never evicts pinned entries: an
+// insert finding only pinned victims is rejected and counted in
+// RejectedInserts rather than evicting one as a last resort.
+func NewStrictPinned(capacity int, scorer Scorer) *Cache {
+	c := New(capacity, scorer)
+	c.strictPinned = true
+	return c
 }
 
 // Capacity returns the expert-count capacity.
@@ -163,6 +178,12 @@ func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 	for len(c.entries) >= c.capacity {
 		victim, ok := c.pickVictim(now)
 		if !ok {
+			if c.strictPinned {
+				// Every entry is pinned (an in-flight DMA source);
+				// refuse the insert rather than drop one mid-copy.
+				c.stats.RejectedInserts++
+				return evicted
+			}
 			// Everything is pinned; evict anyway (last resort) so
 			// the activated expert can be served — but count it.
 			victim, ok = c.pickVictimIncludingPinned(now)
@@ -219,6 +240,24 @@ func less(a, b moe.ExpertRef) bool {
 		return a.Layer < b.Layer
 	}
 	return a.Expert < b.Expert
+}
+
+// Pinned reports whether a resident expert is pinned by the executing
+// layer (false for non-resident experts).
+func (c *Cache) Pinned(ref moe.ExpertRef) bool {
+	m, ok := c.entries[ref]
+	return ok && m.Pinned
+}
+
+// Remove drops a resident expert without charging an eviction (the
+// tiered-memory demotion path accounts the movement itself). Reports
+// whether the expert was resident.
+func (c *Cache) Remove(ref moe.ExpertRef) bool {
+	if _, ok := c.entries[ref]; !ok {
+		return false
+	}
+	delete(c.entries, ref)
+	return true
 }
 
 // Stats returns a copy of the counters with CurrentResident refreshed.
@@ -284,8 +323,17 @@ func (s *Set) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 	return s.For(ref).Insert(ref, now)
 }
 
+// Remove drops ref from its owning device without charging an eviction.
+func (s *Set) Remove(ref moe.ExpertRef) bool { return s.For(ref).Remove(ref) }
+
+// Pinned reports whether ref is pinned on its owning device.
+func (s *Set) Pinned(ref moe.ExpertRef) bool { return s.For(ref).Pinned(ref) }
+
 // Pin pins ref on its owning device.
 func (s *Set) Pin(ref moe.ExpertRef) { s.For(ref).Pin(ref) }
+
+// Unpin clears ref's pin on its owning device.
+func (s *Set) Unpin(ref moe.ExpertRef) { s.For(ref).Unpin(ref) }
 
 // UnpinAll clears pins on every device.
 func (s *Set) UnpinAll() {

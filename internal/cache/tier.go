@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"fmt"
+
+	"finemoe/internal/moe"
+)
+
+// HostTier is one host-side tier's expert residency set in the tiered
+// memory hierarchy: bounded tiers (DRAM under a provisioned budget) wrap
+// a strict-pinned Cache with the tier's own eviction scorer; the
+// unbounded backing tier (the seed's infinite DRAM, or the NVMe bottom
+// tier) holds every expert permanently and needs no bookkeeping at all —
+// which is exactly what makes the degenerate two-tier configuration
+// byte-identical to the pre-tiering engine.
+type HostTier struct {
+	name     string
+	capacity int // experts; < 0 = unbounded
+	c        *Cache
+
+	// movement counters (the tier-level view; the wrapped Cache keeps
+	// its own hit/eviction stats).
+	promotions int // copies staged into this tier from below
+	demotions  int // copies dropped into this tier from above
+}
+
+// NewHostTier builds a bounded host tier holding capacity experts under
+// the given demotion scorer. The tier is strict about pins: a pinned
+// entry is the source of an in-flight upload and is never evicted.
+func NewHostTier(name string, capacity int, scorer Scorer) *HostTier {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: negative host-tier capacity %d", capacity))
+	}
+	return &HostTier{name: name, capacity: capacity, c: NewStrictPinned(capacity, scorer)}
+}
+
+// NewUnboundedHostTier builds a capacity-unlimited backing tier: every
+// expert is always resident, inserts and removals are no-ops.
+func NewUnboundedHostTier(name string) *HostTier {
+	return &HostTier{name: name, capacity: -1}
+}
+
+// Name returns the tier's label.
+func (t *HostTier) Name() string { return t.name }
+
+// Unbounded reports whether the tier is a backing store.
+func (t *HostTier) Unbounded() bool { return t.c == nil }
+
+// Capacity returns the tier's expert capacity (-1 = unbounded).
+func (t *HostTier) Capacity() int { return t.capacity }
+
+// Len returns the resident expert count; -1 for an unbounded tier
+// (every expert is resident).
+func (t *HostTier) Len() int {
+	if t.c == nil {
+		return -1
+	}
+	return t.c.Len()
+}
+
+// Contains reports residency. Unbounded tiers contain everything.
+func (t *HostTier) Contains(ref moe.ExpertRef) bool {
+	return t.c == nil || t.c.Contains(ref)
+}
+
+// insert is the shared residency mechanics behind Insert and Demote:
+// make ref resident at time now, evicting by the tier's scorer as
+// needed, and charge counter on success. Evicted experts drop to the
+// tier below (their backing copies remain valid, so the drop is free).
+func (t *HostTier) insert(ref moe.ExpertRef, now float64, counter *int) (evicted []moe.ExpertRef, ok bool) {
+	if t.c == nil {
+		return nil, true
+	}
+	if t.c.Contains(ref) {
+		return nil, true
+	}
+	evicted = t.c.Insert(ref, now)
+	ok = t.c.Contains(ref)
+	if ok {
+		*counter++
+	}
+	return evicted, ok
+}
+
+// Insert makes ref resident at time now as a promotion from below
+// (a staged copy landing in the tier). Returns the evicted experts and
+// whether the insert took (a strict tier full of pinned entries
+// refuses it).
+func (t *HostTier) Insert(ref moe.ExpertRef, now float64) (evicted []moe.ExpertRef, ok bool) {
+	return t.insert(ref, now, &t.promotions)
+}
+
+// Demote makes ref resident at time now as a demotion from the tier
+// above (a clean copy dropping down, e.g. a GPU-cache eviction landing
+// in DRAM). Accounting aside, the mechanics match Insert.
+func (t *HostTier) Demote(ref moe.ExpertRef, now float64) (evicted []moe.ExpertRef, ok bool) {
+	return t.insert(ref, now, &t.demotions)
+}
+
+// Warm makes ref resident at t=0 without charging the movement
+// counters: the initial population (model weights loaded through DRAM
+// at startup), not a staged copy. No-op once the tier is full.
+func (t *HostTier) Warm(ref moe.ExpertRef) {
+	if t.c != nil && t.c.Len() < t.capacity {
+		t.c.Insert(ref, 0)
+	}
+}
+
+// Touch records a use of a resident expert (keeps recency/frequency
+// signals honest when the tier serves as a transfer source).
+func (t *HostTier) Touch(ref moe.ExpertRef, now float64) {
+	if t.c != nil && t.c.Contains(ref) {
+		t.c.Lookup(ref, now)
+	}
+}
+
+// Remove drops ref from the tier (an explicit policy demotion). Reports
+// whether it was resident; always false for unbounded tiers, whose
+// contents cannot be dropped.
+func (t *HostTier) Remove(ref moe.ExpertRef) bool {
+	if t.c == nil {
+		return false
+	}
+	return t.c.Remove(ref)
+}
+
+// Pin marks a resident expert as the source of an in-flight upload; a
+// strict tier never evicts it. No-op on unbounded tiers.
+func (t *HostTier) Pin(ref moe.ExpertRef) {
+	if t.c != nil {
+		t.c.Pin(ref)
+	}
+}
+
+// Unpin clears a pin.
+func (t *HostTier) Unpin(ref moe.ExpertRef) {
+	if t.c != nil {
+		t.c.Unpin(ref)
+	}
+}
+
+// Pressure returns the tier's occupancy fraction in [0, 1]; 0 for
+// unbounded tiers (no pressure by construction) and for zero-capacity
+// tiers (nothing can be resident).
+func (t *HostTier) Pressure() float64 {
+	if t.c == nil || t.capacity <= 0 {
+		return 0
+	}
+	return float64(t.c.Len()) / float64(t.capacity)
+}
+
+// Promotions and Demotions return the movement counters.
+func (t *HostTier) Promotions() int { return t.promotions }
+
+// Demotions returns the copies dropped into this tier from above.
+func (t *HostTier) Demotions() int { return t.demotions }
+
+// CacheStats returns the wrapped cache's counters (zero value for
+// unbounded tiers).
+func (t *HostTier) CacheStats() Stats {
+	if t.c == nil {
+		return Stats{}
+	}
+	return t.c.Stats()
+}

@@ -1,0 +1,176 @@
+package cache
+
+import "testing"
+
+// TestStrictPinnedSaturatedRejects pins every entry of a strict cache
+// and verifies an insert is rejected and counted instead of evicting a
+// pinned victim (the host-tier contract: a pinned entry is an in-flight
+// DMA source and must never be dropped).
+func TestStrictPinnedSaturatedRejects(t *testing.T) {
+	c := NewStrictPinned(2, LRU{})
+	c.Insert(ref(0, 0), 0)
+	c.Insert(ref(0, 1), 1)
+	c.Pin(ref(0, 0))
+	c.Pin(ref(0, 1))
+
+	evicted := c.Insert(ref(0, 2), 2)
+	if len(evicted) != 0 {
+		t.Fatalf("strict cache evicted %v with every entry pinned", evicted)
+	}
+	if c.Contains(ref(0, 2)) {
+		t.Fatal("rejected insert became resident")
+	}
+	if got := c.Stats().RejectedInserts; got != 1 {
+		t.Fatalf("RejectedInserts = %d, want 1", got)
+	}
+	if got := c.Stats().PinnedEvictions; got != 0 {
+		t.Fatalf("strict cache recorded %d pinned evictions", got)
+	}
+	// Unpinning one entry lets the next insert through.
+	c.Unpin(ref(0, 0))
+	if ev := c.Insert(ref(0, 2), 3); len(ev) != 1 || ev[0] != ref(0, 0) {
+		t.Fatalf("after unpin, evicted %v, want [%v]", ev, ref(0, 0))
+	}
+}
+
+// TestLenientPinnedSaturatedEvicts pins the GPU-cache contract: the
+// default cache evicts a pinned victim as a last resort and counts it.
+func TestLenientPinnedSaturatedEvicts(t *testing.T) {
+	c := New(1, LRU{})
+	c.Insert(ref(0, 0), 0)
+	c.Pin(ref(0, 0))
+	if ev := c.Insert(ref(0, 1), 1); len(ev) != 1 || ev[0] != ref(0, 0) {
+		t.Fatalf("lenient cache evicted %v, want the pinned entry", ev)
+	}
+	if got := c.Stats().PinnedEvictions; got != 1 {
+		t.Fatalf("PinnedEvictions = %d, want 1", got)
+	}
+}
+
+// TestExactFitEviction fills a cache exactly to capacity and verifies
+// one further insert evicts exactly one victim (no over-eviction) and
+// residency stays at capacity.
+func TestExactFitEviction(t *testing.T) {
+	const capacity = 4
+	c := New(capacity, LRU{})
+	for j := 0; j < capacity; j++ {
+		if ev := c.Insert(ref(0, j), float64(j)); len(ev) != 0 {
+			t.Fatalf("insert %d below capacity evicted %v", j, ev)
+		}
+	}
+	ev := c.Insert(ref(1, 0), 10)
+	if len(ev) != 1 {
+		t.Fatalf("exact-fit insert evicted %d entries, want 1", len(ev))
+	}
+	if ev[0] != ref(0, 0) {
+		t.Fatalf("evicted %v, want the LRU entry %v", ev[0], ref(0, 0))
+	}
+	if c.Len() != capacity {
+		t.Fatalf("resident %d after exact-fit insert, want %d", c.Len(), capacity)
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Insertions != capacity+1 {
+		t.Fatalf("stats %+v, want 1 eviction, %d insertions", s, capacity+1)
+	}
+}
+
+// TestZeroCapacityHostTier pins the zero-capacity DRAM tier semantics:
+// nothing becomes resident, every insert is rejected and counted, and
+// pressure stays zero (nothing can occupy the tier).
+func TestZeroCapacityHostTier(t *testing.T) {
+	ht := NewHostTier("DRAM", 0, LRU{})
+	if ht.Unbounded() {
+		t.Fatal("zero-capacity tier must not be unbounded")
+	}
+	evicted, ok := ht.Insert(ref(0, 0), 1)
+	if ok || len(evicted) != 0 {
+		t.Fatalf("zero-capacity insert: ok=%v evicted=%v", ok, evicted)
+	}
+	if ht.Contains(ref(0, 0)) {
+		t.Fatal("zero-capacity tier reports residency")
+	}
+	if got := ht.CacheStats().RejectedInserts; got != 1 {
+		t.Fatalf("RejectedInserts = %d, want 1", got)
+	}
+	if p := ht.Pressure(); p != 0 {
+		t.Fatalf("zero-capacity pressure = %v, want 0", p)
+	}
+	if _, ok := ht.Demote(ref(0, 1), 2); ok {
+		t.Fatal("zero-capacity tier accepted a demotion")
+	}
+}
+
+// TestHostTierMovementCounters verifies promotions (staged copies) and
+// demotions (drops from above) are tracked separately, and that an
+// unbounded tier counts neither.
+func TestHostTierMovementCounters(t *testing.T) {
+	ht := NewHostTier("DRAM", 2, LRU{})
+	ht.Insert(ref(0, 0), 0)
+	ht.Demote(ref(0, 1), 1)
+	if ht.Promotions() != 1 || ht.Demotions() != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", ht.Promotions(), ht.Demotions())
+	}
+	// Re-inserting a resident expert moves nothing.
+	ht.Insert(ref(0, 0), 2)
+	if ht.Promotions() != 1 {
+		t.Fatal("duplicate insert charged a promotion")
+	}
+	// A full tier's demotion evicts by scorer.
+	evicted, ok := ht.Demote(ref(0, 2), 3)
+	if !ok || len(evicted) != 1 {
+		t.Fatalf("full-tier demotion: ok=%v evicted=%v", ok, evicted)
+	}
+
+	ub := NewUnboundedHostTier("NVMe")
+	if !ub.Contains(ref(9, 9)) {
+		t.Fatal("unbounded tier must contain every expert")
+	}
+	if _, ok := ub.Insert(ref(0, 0), 0); !ok {
+		t.Fatal("unbounded insert must succeed")
+	}
+	if ub.Promotions() != 0 || ub.Demotions() != 0 {
+		t.Fatal("unbounded tier charged movement counters")
+	}
+	if ub.Remove(ref(0, 0)) {
+		t.Fatal("unbounded tier allowed a removal")
+	}
+	if ub.Len() != -1 || ub.Capacity() != -1 {
+		t.Fatalf("unbounded tier len/cap = %d/%d, want -1/-1", ub.Len(), ub.Capacity())
+	}
+}
+
+// TestHostTierWarm verifies warm-fill populates without charging the
+// movement counters and stops at capacity.
+func TestHostTierWarm(t *testing.T) {
+	ht := NewHostTier("DRAM", 2, LRU{})
+	ht.Warm(ref(0, 0))
+	ht.Warm(ref(0, 1))
+	ht.Warm(ref(0, 2)) // beyond capacity: no-op, no eviction
+	if ht.Len() != 2 {
+		t.Fatalf("warm len = %d, want 2", ht.Len())
+	}
+	if !ht.Contains(ref(0, 0)) || !ht.Contains(ref(0, 1)) || ht.Contains(ref(0, 2)) {
+		t.Fatal("warm populated the wrong experts")
+	}
+	if ht.Promotions() != 0 || ht.Demotions() != 0 {
+		t.Fatal("warm charged movement counters")
+	}
+}
+
+// TestCacheRemove verifies Remove drops residency without charging an
+// eviction.
+func TestCacheRemove(t *testing.T) {
+	c := New(2, LRU{})
+	c.Insert(ref(0, 0), 0)
+	if !c.Remove(ref(0, 0)) {
+		t.Fatal("Remove of resident expert returned false")
+	}
+	if c.Remove(ref(0, 0)) {
+		t.Fatal("Remove of absent expert returned true")
+	}
+	if c.Contains(ref(0, 0)) || c.Len() != 0 {
+		t.Fatal("Remove left residency behind")
+	}
+	if got := c.Stats().Evictions; got != 0 {
+		t.Fatalf("Remove charged %d evictions", got)
+	}
+}

@@ -51,12 +51,13 @@ type Instance struct {
 // State snapshots the instance's load view for admission and routing.
 func (in *Instance) State() InstanceState {
 	return InstanceState{
-		ID:         in.ID,
-		QueueDepth: in.Engine.QueueDepth(),
-		InFlight:   in.Engine.InFlight(),
-		Completed:  in.Engine.CompletedCount(),
-		Submitted:  in.Submitted,
-		NowMS:      in.Engine.Now(),
+		ID:          in.ID,
+		QueueDepth:  in.Engine.QueueDepth(),
+		InFlight:    in.Engine.InFlight(),
+		Completed:   in.Engine.CompletedCount(),
+		Submitted:   in.Submitted,
+		NowMS:       in.Engine.Now(),
+		MemPressure: in.Engine.MemoryPressure(),
 	}
 }
 
@@ -68,6 +69,12 @@ type InstanceState struct {
 	Completed  int
 	Submitted  int
 	NowMS      float64
+	// MemPressure is the instance's host-DRAM thrash level: the decayed
+	// fraction of recent expert fetches staged from below DRAM (0 under
+	// the degenerate unbounded-DRAM configuration or when the working
+	// set fits). Routers use it as a placement tiebreak and the
+	// queue-pressure autoscaler as an optional grow trigger.
+	MemPressure float64
 }
 
 // ScaleEvent records one autoscaler-driven fleet resize.

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"finemoe/internal/workload"
+)
+
+// TestMemoryAwareRouterTiebreak verifies the memory-aware router joins
+// the shortest queue first and breaks load ties toward the instance
+// with the lowest host-memory pressure, then fewest routed requests.
+func TestMemoryAwareRouterTiebreak(t *testing.T) {
+	r := NewMemoryAware()
+	req := workload.Request{}
+
+	// Load dominates: the emptier queue wins despite higher pressure.
+	fleet := []InstanceState{
+		{ID: 0, QueueDepth: 3, MemPressure: 0.1},
+		{ID: 1, QueueDepth: 1, MemPressure: 0.9},
+	}
+	if got := r.Route(req, 0, fleet); got != 1 {
+		t.Fatalf("route %d, want the shorter queue 1", got)
+	}
+
+	// Equal load: DRAM headroom decides.
+	fleet = []InstanceState{
+		{ID: 0, QueueDepth: 2, MemPressure: 0.8},
+		{ID: 1, QueueDepth: 2, MemPressure: 0.2},
+		{ID: 2, QueueDepth: 2, MemPressure: 0.5},
+	}
+	if got := r.Route(req, 0, fleet); got != 1 {
+		t.Fatalf("route %d, want lowest-pressure 1", got)
+	}
+
+	// Equal load and pressure: fewest submitted, then lowest index — the
+	// least-loaded contract, so a degenerate fleet (all pressures zero)
+	// routes identically to NewLeastLoaded.
+	fleet = []InstanceState{
+		{ID: 0, QueueDepth: 2, Submitted: 5},
+		{ID: 1, QueueDepth: 2, Submitted: 3},
+		{ID: 2, QueueDepth: 2, Submitted: 3},
+	}
+	if got := r.Route(req, 0, fleet); got != 1 {
+		t.Fatalf("route %d, want fewest-submitted 1", got)
+	}
+	ll := NewLeastLoaded()
+	for range [16]int{} {
+		if lr, mr := ll.Route(req, 0, fleet), r.Route(req, 0, fleet); lr != mr {
+			t.Fatalf("degenerate fleet diverged: least-loaded %d vs memory-aware %d", lr, mr)
+		}
+	}
+}
+
+// TestQueuePressureMemoryTrigger verifies the autoscaler's memory input:
+// sustained DRAM pressure above the watermark grows the fleet even with
+// empty queues, suppresses shrink while high, and a zero watermark
+// leaves the queue-only behavior untouched.
+func TestQueuePressureMemoryTrigger(t *testing.T) {
+	opts := QueuePressureOptions{
+		HighWatermark: 4, LowWatermark: 0.5,
+		SustainMS: 100, CooldownMS: 100,
+		MemoryHighWatermark: 0.9,
+	}
+	q := NewQueuePressure(opts)
+	// Queues empty (mean load 0 < LowWatermark) but DRAM thrashing: the
+	// memory trigger must override the shrink path and grow.
+	hot := []InstanceState{{ID: 0, MemPressure: 0.97}, {ID: 1, MemPressure: 0.95}}
+	if d := q.Decide(0, hot); d != Hold {
+		t.Fatalf("decision %v before sustain, want hold", d)
+	}
+	if d := q.Decide(150, hot); d != Grow {
+		t.Fatalf("decision %v after sustained memory pressure, want grow", d)
+	}
+
+	// Same timeline without the memory watermark: empty queues shrink.
+	opts.MemoryHighWatermark = 0
+	q2 := NewQueuePressure(opts)
+	q2.Decide(0, hot)
+	if d := q2.Decide(150, hot); d != Shrink {
+		t.Fatalf("decision %v with memory input disabled, want shrink", d)
+	}
+
+	// Pressure dropping back under the watermark releases the trigger.
+	q3 := NewQueuePressure(QueuePressureOptions{
+		SustainMS: 100, CooldownMS: 100, MemoryHighWatermark: 0.9,
+	})
+	cool := []InstanceState{{ID: 0, MemPressure: 0.3}, {ID: 1, MemPressure: 0.2}}
+	q3.Decide(0, hot)
+	if d := q3.Decide(150, cool); d == Grow {
+		t.Fatal("memory trigger fired after pressure subsided")
+	}
+}

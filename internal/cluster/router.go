@@ -72,6 +72,41 @@ func (leastLoaded) Route(_ workload.Request, _ float64, fleet []InstanceState) i
 	return best
 }
 
+// memoryAware joins the shortest queue like leastLoaded but breaks load
+// ties toward the instance with the lowest host-memory thrash level
+// (then fewest routed requests, then lowest index): on a tiered-memory
+// fleet an instance whose fetches keep spilling below DRAM pays NVMe
+// staging on its misses, so among equally queued replicas the one whose
+// working set still fits serves the request faster. On a degenerate
+// (unbounded-DRAM) fleet every pressure reads 0 and the policy reduces
+// to least-loaded exactly.
+type memoryAware struct{}
+
+// NewMemoryAware returns the memory-pressure-aware least-loaded router.
+func NewMemoryAware() Router { return memoryAware{} }
+
+func (memoryAware) Name() string { return "memory-aware" }
+
+func (memoryAware) Route(_ workload.Request, _ float64, fleet []InstanceState) int {
+	best := 0
+	for i := 1; i < len(fleet); i++ {
+		a, b := fleet[i], fleet[best]
+		switch {
+		case a.load() != b.load():
+			if a.load() < b.load() {
+				best = i
+			}
+		case a.MemPressure != b.MemPressure:
+			if a.MemPressure < b.MemPressure {
+				best = i
+			}
+		case a.Submitted < b.Submitted:
+			best = i
+		}
+	}
+	return best
+}
+
 // SemanticAffinityOptions tunes the FineMoE-aware router.
 type SemanticAffinityOptions struct {
 	// MinSim is the cosine similarity below which a prompt is considered

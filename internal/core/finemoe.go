@@ -184,7 +184,21 @@ func (f *FineMoE) selectAndPrefetch(res SearchResult, targetLayer, lNow int, iss
 		if f.RT.Resident(ref) || f.RT.Tracked(ref) {
 			continue
 		}
-		f.RT.Prefetch(ref, PrefetchPriority(probs[j], targetLayer, lNow), issueAt)
+		pri := PrefetchPriority(probs[j], targetLayer, lNow)
+		// Tier-aware routing: an expert predicted for a layer beyond the
+		// near window [lNow, lNow+d] that still lives below DRAM is
+		// pre-staged one hop (into DRAM) instead of chained all the way
+		// up — far-ahead predictions should warm the big host tier, not
+		// churn the small GPU cache; the near-window guidance or the
+		// trajectory search issues the final upload once the layer
+		// approaches. Under the degenerate two-tier hierarchy Tier never
+		// exceeds 1, so this path cannot fire and the transfer schedule
+		// is byte-identical to the pre-tiering policy.
+		if targetLayer-lNow > f.d && f.RT.Tier(ref) > 1 {
+			f.RT.Promote(ref, pri, issueAt)
+			continue
+		}
+		f.RT.Prefetch(ref, pri, issueAt)
 	}
 }
 

@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16a", "fig16b", "fig17", "fig18",
 		"abl-sync", "abl-ep", "abl-dedup",
 		"abl-coverage", "abl-evict", "abl-prefilter",
-		"clusterfig", "autoscalefig", "scenariofig", "searchfig",
+		"clusterfig", "autoscalefig", "scenariofig", "searchfig", "memfig",
 	}
 	have := map[string]bool{}
 	for _, e := range List() {

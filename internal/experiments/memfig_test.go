@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestMemFigAcceptance pins the tiered-memory headline — the paper's
+// latency-memory trade-off with host DRAM as the swept axis: shrinking
+// the provisioned DRAM budget must degrade p99 TTFT monotonically
+// (within tolerance), FineMoE's similarity-aware tier scorer must
+// dominate LRU and LFU at every budget point, and the curve must have
+// real slope (the smallest budget measurably worse than unbounded).
+func TestMemFigAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memfig sweep is not short")
+	}
+	out, err := Run(smallCtx(), "memfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Table.Header()
+	rows := out.Table.Rows()
+	iScorer, iDram := col(t, h, "scorer"), col(t, h, "dram")
+	iP99, iStaged := col(t, h, "p99_ttft_s"), col(t, h, "staged")
+	iMem := col(t, h, "mem_pressure")
+
+	// Collect per-scorer curves in row order (budgets ascending, the
+	// unbounded degenerate point last).
+	type point struct {
+		dram    string
+		p99     float64
+		staged  int
+		memPres float64
+	}
+	curves := map[string][]point{}
+	var order []string
+	for _, r := range rows {
+		name := r[iScorer]
+		if _, seen := curves[name]; !seen {
+			order = append(order, name)
+		}
+		staged, err := strconv.Atoi(r[iStaged])
+		if err != nil {
+			t.Fatalf("non-integer staged cell %q: %v", r[iStaged], err)
+		}
+		curves[name] = append(curves[name], point{
+			dram: r[iDram], p99: cell(t, r[iP99]),
+			staged: staged, memPres: cell(t, r[iMem]),
+		})
+	}
+	if len(order) != 3 {
+		t.Fatalf("expected 3 scorer curves, got %v", order)
+	}
+	nBudgets := len(memfigBudgetFracs()) + 1 // + the unbounded anchor
+
+	for _, name := range order {
+		pts := curves[name]
+		if len(pts) != nBudgets {
+			t.Fatalf("%s: expected %d budget points, got %d", name, nBudgets, len(pts))
+		}
+		for k := 0; k+1 < len(pts); k++ {
+			// Monotone within 2%: growing the budget must not degrade
+			// the tail.
+			if pts[k+1].p99 > pts[k].p99*1.02 {
+				t.Errorf("%s: p99 TTFT not monotone in DRAM budget: %s=%.3fs -> %s=%.3fs",
+					name, pts[k].dram, pts[k].p99, pts[k+1].dram, pts[k+1].p99)
+			}
+		}
+		// The trade-off must have real slope: the smallest budget pays
+		// measurably more than the unbounded anchor.
+		smallest, unbounded := pts[0], pts[len(pts)-1]
+		if smallest.p99 < unbounded.p99*1.2 {
+			t.Errorf("%s: no latency-memory slope: smallest budget p99 %.3fs vs unbounded %.3fs",
+				name, smallest.p99, unbounded.p99)
+		}
+		// Staging traffic shrinks as DRAM grows and vanishes under the
+		// degenerate configuration.
+		if smallest.staged == 0 {
+			t.Errorf("%s: smallest DRAM budget produced no NVMe staging traffic", name)
+		}
+		if unbounded.staged != 0 {
+			t.Errorf("%s: unbounded DRAM must not stage (got %d transfers)", name, unbounded.staged)
+		}
+		if unbounded.memPres != 0 {
+			t.Errorf("%s: unbounded DRAM must report zero memory pressure (got %.3f)", name, unbounded.memPres)
+		}
+	}
+
+	// FineMoE's tier scorer dominates LRU and LFU at every budget point.
+	fine := curves[order[0]]
+	if order[0] != "FineMoE" {
+		t.Fatalf("first curve is %q, want FineMoE", order[0])
+	}
+	for _, rival := range order[1:] {
+		for k, p := range curves[rival] {
+			if p.dram == "unbounded" {
+				continue // the degenerate anchor is outside the swept axis
+			}
+			if fine[k].p99 > p.p99 {
+				t.Errorf("FineMoE does not dominate %s at DRAM %s: %.3fs vs %.3fs",
+					rival, p.dram, fine[k].p99, p.p99)
+			}
+		}
+	}
+}

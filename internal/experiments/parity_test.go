@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateParity rewrites the committed parity goldens. Run after an
+// intentional behavioral change:
+//
+//	go test ./internal/experiments -run ExperimentParityGoldens -update-parity
+var updateParity = flag.Bool("update-parity", false, "rewrite testdata/parity goldens")
+
+// TestExperimentParityGoldens pins every registered experiment's table,
+// byte for byte, against goldens recorded before the tiered-memory
+// refactor. The degenerate two-tier configuration (the default every
+// experiment runs under) must reproduce the pre-refactor engine results
+// byte-identically, so any drift here means the refactor changed engine
+// arithmetic rather than only adding the new memory axis.
+func TestExperimentParityGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep runs every experiment; skipped under -short")
+	}
+	ctx := smallCtx()
+	for _, e := range List() {
+		out, err := Run(ctx, e.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		got := out.Table.CSV()
+		path := filepath.Join("testdata", "parity", e.ID+".csv")
+		if *updateParity {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-parity): %v", e.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: table drifted from pre-refactor golden %s\n--- want\n%s--- got\n%s",
+				e.ID, path, want, got)
+		}
+	}
+}

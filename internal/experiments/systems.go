@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"finemoe/internal/baselines"
+	"finemoe/internal/cache"
 	"finemoe/internal/core"
+	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
 	"finemoe/internal/policy"
 	"finemoe/internal/serve"
@@ -30,6 +32,11 @@ type system struct {
 	// cacheBytes overrides the fraction when positive.
 	cacheBytes int64
 	preload    bool
+	// memory configures the tiered host hierarchy (zero = the degenerate
+	// unbounded-DRAM configuration every paper experiment runs under);
+	// hostScorer ranks bounded host-tier residents for demotion.
+	memory     memsim.Hierarchy
+	hostScorer cache.Scorer
 }
 
 func (s system) engineOptions(c *Context, m *moe.Model, batch int) serve.Options {
@@ -46,6 +53,8 @@ func (s system) engineOptions(c *Context, m *moe.Model, batch int) serve.Options
 		Policy:     s.build(),
 		BatchSize:  batch,
 		PreloadAll: s.preload,
+		Memory:     s.memory,
+		HostScorer: s.hostScorer,
 	}
 }
 
@@ -103,6 +112,12 @@ func paperSystems(c *Context, cfg moe.Config, ds workload.Dataset, warmStores bo
 			cacheFrac: leanCacheFrac,
 		},
 	}
+}
+
+// memsimThreeTierFrac builds the three-tier hierarchy with DRAM bounded
+// at the given fraction of the model's total expert bytes.
+func memsimThreeTierFrac(cfg moe.Config, frac float64) memsim.Hierarchy {
+	return memsim.ThreeTier(int64(float64(cfg.TotalExpertBytes()) * frac))
 }
 
 // withNoOffload prepends the No-offload upper bound (Fig. 1b only).

@@ -44,6 +44,10 @@ type Config struct {
 	// CacheBytes is each instance's expert-cache budget (0 = 30% of
 	// expert weights).
 	CacheBytes int64
+	// DRAMBytes bounds each instance's host DRAM tier; experts beyond
+	// the budget spill to an NVMe backing tier behind a shared staging
+	// link (0 = unbounded DRAM, the degenerate two-tier hierarchy).
+	DRAMBytes int64
 	// StoreCapacity sizes each instance's Expert Map Store (0 = the
 	// paper's 1K).
 	StoreCapacity int
@@ -77,6 +81,10 @@ type instance struct {
 	hits, misses     int
 	sumTTFT, sumTPOT float64
 	now              float64
+	// memPressure caches the engine's thrash signal as of the last
+	// request served; the full tier snapshot is fetched lazily by
+	// Stats() so the serving path pays nothing for it.
+	memPressure float64
 }
 
 // Server simulates serving over a fleet of instances behind the
@@ -92,15 +100,19 @@ type Server struct {
 	mu        sync.Mutex
 	instances []*instance
 	retired   []bool
-	admission cluster.Admission
-	router    cluster.Router
-	scaler    cluster.Autoscaler
-	nextID    uint64
-	inflight  []int
-	completed []int
-	admitted  int
-	rejected  int
-	vnow      float64 // latest instance virtual clock seen
+	// memPressure caches each instance's host-DRAM thrash level as of
+	// its last completed request, so the routing view (fleetStates) can
+	// carry the memory signal without taking instance locks.
+	memPressure []float64
+	admission   cluster.Admission
+	router      cluster.Router
+	scaler      cluster.Autoscaler
+	nextID      uint64
+	inflight    []int
+	completed   []int
+	admitted    int
+	rejected    int
+	vnow        float64 // latest instance virtual clock seen
 }
 
 // New builds a server from the configuration.
@@ -158,11 +170,13 @@ func (s *Server) addInstanceLocked() {
 	eng := serve.New(serve.Options{
 		Model: model, GPU: c.GPU, NumGPUs: c.NumGPUs,
 		CacheBytes: c.CacheBytes, Policy: pol,
+		Memory: memsim.ThreeTier(c.DRAMBytes),
 	})
 	s.instances = append(s.instances, &instance{engine: eng, policy: pol})
 	s.retired = append(s.retired, false)
 	s.inflight = append(s.inflight, 0)
 	s.completed = append(s.completed, 0)
+	s.memPressure = append(s.memPressure, 0)
 }
 
 // maybeScaleLocked evaluates the autoscaler against the routable fleet at
@@ -244,23 +258,73 @@ type InstanceStats struct {
 	MeanTTFTms  float64 `json:"mean_ttft_ms"`
 	StoreSize   int     `json:"store_size"`
 	VirtualTime float64 `json:"virtual_time_ms"`
+	// MemPressure is the instance's host-DRAM thrash level (decayed
+	// fraction of expert fetches spilling below DRAM); Tiers the
+	// per-tier residency/transfer breakdown (HBM first).
+	MemPressure float64     `json:"mem_pressure"`
+	Tiers       []TierStats `json:"tiers,omitempty"`
+}
+
+// TierStats reports one memory tier's residency and transfer activity
+// for the JSON stats surface.
+type TierStats struct {
+	Name            string  `json:"name"`
+	CapacityExperts int     `json:"capacity_experts"` // -1 = unbounded
+	ResidentExperts int     `json:"resident_experts"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+	Pressure        float64 `json:"pressure"`
+	Promotions      int     `json:"promotions"`
+	Demotions       int     `json:"demotions"`
+	Drops           int     `json:"drops"`
+	RejectedInserts int     `json:"rejected_inserts"`
+	LinkPrefetches  int     `json:"link_prefetches"`
+	LinkOnDemands   int     `json:"link_on_demands"`
+	LinkBusyMS      float64 `json:"link_busy_ms"`
+}
+
+// tierStats maps an engine tier snapshot to the JSON form.
+func tierStats(ts []serve.TierStat) []TierStats {
+	out := make([]TierStats, len(ts))
+	for i, t := range ts {
+		out[i] = TierStats{
+			Name:            t.Name,
+			CapacityExperts: t.CapacityExperts,
+			ResidentExperts: t.ResidentExperts,
+			ResidentBytes:   t.ResidentBytes,
+			Pressure:        t.Pressure,
+			Promotions:      t.Promotions,
+			Demotions:       t.Demotions,
+			Drops:           t.Drops,
+			RejectedInserts: t.RejectedInserts,
+			LinkPrefetches:  t.Link.Prefetches,
+			LinkOnDemands:   t.Link.OnDemands,
+			LinkBusyMS:      t.Link.BusyMS,
+		}
+	}
+	return out
 }
 
 // StatsResponse reports cumulative serving statistics.
 type StatsResponse struct {
-	Served      int             `json:"served_requests"`
-	Admitted    int             `json:"admitted_requests"`
-	Rejected    int             `json:"rejected_requests"`
-	QueueDepth  int             `json:"queue_depth"`
-	Active      int             `json:"active_instances"`
-	MeanTTFTms  float64         `json:"mean_ttft_ms"`
-	MeanTPOTms  float64         `json:"mean_tpot_ms"`
-	HitRate     float64         `json:"hit_rate"`
-	StoreSize   int             `json:"store_size"`
-	StoreBytes  int64           `json:"store_bytes"`
-	VirtualTime float64         `json:"virtual_time_ms"`
-	Admission   string          `json:"admission"`
-	Router      string          `json:"router"`
+	Served      int     `json:"served_requests"`
+	Admitted    int     `json:"admitted_requests"`
+	Rejected    int     `json:"rejected_requests"`
+	QueueDepth  int     `json:"queue_depth"`
+	Active      int     `json:"active_instances"`
+	MeanTTFTms  float64 `json:"mean_ttft_ms"`
+	MeanTPOTms  float64 `json:"mean_tpot_ms"`
+	HitRate     float64 `json:"hit_rate"`
+	StoreSize   int     `json:"store_size"`
+	StoreBytes  int64   `json:"store_bytes"`
+	VirtualTime float64 `json:"virtual_time_ms"`
+	Admission   string  `json:"admission"`
+	Router      string  `json:"router"`
+	// MemPressure is the mean host-DRAM thrash level across active
+	// instances; Tiers sums capacity, residency and transfer activity
+	// per tier across all instances (HBM first), with occupancy
+	// recomputed from the fleet sums.
+	MemPressure float64         `json:"mem_pressure"`
+	Tiers       []TierStats     `json:"tiers,omitempty"`
 	Instances   []InstanceStats `json:"instances"`
 }
 
@@ -280,7 +344,8 @@ func (s *Server) fleetStates() []cluster.InstanceState {
 		}
 		out = append(out, cluster.InstanceState{
 			ID: i, QueueDepth: s.inflight[i], Completed: s.completed[i],
-			Submitted: s.inflight[i] + s.completed[i],
+			Submitted:   s.inflight[i] + s.completed[i],
+			MemPressure: s.memPressure[i],
 		})
 	}
 	return out
@@ -367,6 +432,8 @@ func (s *Server) Generate(req GenerateRequest) (GenerateResponse, error) {
 	in.sumTTFT += m.TTFTms
 	in.sumTPOT += m.TPOTms
 	in.now = in.engine.Now()
+	in.memPressure = in.engine.MemoryPressure()
+	memPressure := in.memPressure
 	storeSize := in.policy.Store().Len()
 	vnow := in.now
 	in.mu.Unlock()
@@ -374,6 +441,7 @@ func (s *Server) Generate(req GenerateRequest) (GenerateResponse, error) {
 	s.mu.Lock()
 	s.inflight[target]--
 	s.completed[target]++
+	s.memPressure[target] = memPressure
 	if vnow > s.vnow {
 		s.vnow = vnow
 	}
@@ -403,14 +471,46 @@ func (s *Server) Stats() StatsResponse {
 
 	var sumTTFT, sumTPOT float64
 	var hits, misses int
+	var memSum float64
 	for i, in := range instances {
 		in.mu.Lock()
 		is := InstanceStats{
 			ID: i, Served: in.served, QueueDepth: inflight[i], Retired: retired[i],
 			StoreSize: in.policy.Store().Len(), VirtualTime: in.now,
+			MemPressure: in.memPressure, Tiers: tierStats(in.engine.TierStats()),
+		}
+		// Fleet tier totals: instances share one hierarchy shape, so
+		// summing by position is well-defined. Capacity sums alongside
+		// residency (staying -1 while unbounded) and occupancy is
+		// recomputed from the sums, so the fleet record is internally
+		// consistent rather than inheriting instance 0's values.
+		for j, ts := range is.Tiers {
+			if j >= len(st.Tiers) {
+				st.Tiers = append(st.Tiers, TierStats{Name: ts.Name, CapacityExperts: -1})
+			}
+			ft := &st.Tiers[j]
+			if ts.CapacityExperts >= 0 {
+				if ft.CapacityExperts < 0 {
+					ft.CapacityExperts = 0
+				}
+				ft.CapacityExperts += ts.CapacityExperts
+			}
+			ft.ResidentExperts += ts.ResidentExperts
+			ft.ResidentBytes += ts.ResidentBytes
+			ft.Promotions += ts.Promotions
+			ft.Demotions += ts.Demotions
+			ft.Drops += ts.Drops
+			ft.RejectedInserts += ts.RejectedInserts
+			ft.LinkPrefetches += ts.LinkPrefetches
+			ft.LinkOnDemands += ts.LinkOnDemands
+			ft.LinkBusyMS += ts.LinkBusyMS
+			if ft.CapacityExperts > 0 {
+				ft.Pressure = float64(ft.ResidentExperts) / float64(ft.CapacityExperts)
+			}
 		}
 		if !retired[i] {
 			st.Active++
+			memSum += in.memPressure
 		}
 		if in.served > 0 {
 			is.MeanTTFTms = in.sumTTFT / float64(in.served)
@@ -439,6 +539,9 @@ func (s *Server) Stats() StatsResponse {
 	if hits+misses > 0 {
 		st.HitRate = float64(hits) / float64(hits+misses)
 	}
+	if st.Active > 0 {
+		st.MemPressure = memSum / float64(st.Active)
+	}
 	return st
 }
 
@@ -459,6 +562,12 @@ func (s *Server) ConfigInfo() map[string]any {
 		"instances":         n,
 		"admission":         s.admission.Name(),
 		"router":            s.router.Name(),
+	}
+	if s.conf.DRAMBytes > 0 {
+		info["dram_bytes"] = s.conf.DRAMBytes
+		info["memory_tiers"] = []string{"HBM", "DRAM", "NVMe"}
+	} else {
+		info["memory_tiers"] = []string{"HBM", "DRAM"}
 	}
 	if s.scaler != nil {
 		info["autoscaler"] = s.scaler.Name()

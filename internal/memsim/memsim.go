@@ -110,12 +110,15 @@ type Transfer struct {
 	OnDemand bool
 }
 
-// Link is one GPU's host link: a single-transfer-at-a-time channel with a
-// priority queue of pending prefetches and support for on-demand preemption
-// with prefetch pausing (§4.5).
+// Link is one expert-copy channel between two adjacent memory tiers — a
+// GPU's PCIe host link, or a shared staging link deeper in the hierarchy:
+// a single-transfer-at-a-time channel with a priority queue of pending
+// prefetches and support for on-demand preemption with prefetch pausing
+// (§4.5).
 type Link struct {
-	spec  GPUSpec
-	bytes int64 // bytes per expert on this model
+	gbps  float64 // bandwidth in GB/s
+	latMS float64 // fixed per-copy latency in ms
+	bytes int64   // bytes per expert on this model
 
 	queue        []*Transfer // pending, unscheduled
 	current      *Transfer   // scheduled with End > drained time
@@ -131,12 +134,20 @@ type Link struct {
 	busyMS                       float64
 }
 
-// NewLink builds a link transferring expertBytes-sized units.
+// NewLink builds a GPU host link (PCIe bandwidth and per-copy latency from
+// the device spec) transferring expertBytes-sized units.
 func NewLink(spec GPUSpec, expertBytes int64) *Link {
-	return &Link{spec: spec, bytes: expertBytes, state: map[moe.ExpertRef]transferState{}}
+	return NewRawLink(spec.PCIeGBps, spec.TransferLatencyMS, expertBytes)
 }
 
-func (l *Link) durMS() float64 { return l.spec.TransferLatencyMS + l.spec.TransferMS(l.bytes) }
+// NewRawLink builds a link from raw channel parameters: bandwidth in GB/s
+// and fixed per-copy latency in ms. Staging links between host tiers
+// (NVMe -> DRAM) are built this way.
+func NewRawLink(gbps, latencyMS float64, expertBytes int64) *Link {
+	return &Link{gbps: gbps, latMS: latencyMS, bytes: expertBytes, state: map[moe.ExpertRef]transferState{}}
+}
+
+func (l *Link) durMS() float64 { return l.latMS + float64(l.bytes)/(l.gbps*1e6) }
 
 // Tracked reports whether ref is queued or in flight.
 func (l *Link) Tracked(ref moe.ExpertRef) bool { return l.state[ref] != stateNone }
@@ -266,27 +277,52 @@ func (l *Link) Stats() LinkStats {
 	return LinkStats{Prefetches: l.prefetchCount, OnDemands: l.onDemandCount, BusyMS: l.busyMS}
 }
 
-// Cluster is an expert-parallel group of identical GPUs. Experts are
-// assigned to devices round-robin by flattened expert ID, matching the
-// paper's §5 hash placement.
+// Cluster is an expert-parallel group of identical GPUs over a tiered
+// host-memory hierarchy. Experts are assigned to devices round-robin by
+// flattened expert ID, matching the paper's §5 hash placement. Each GPU
+// owns a PCIe host link (DRAM -> HBM); tiers below DRAM feed the tier
+// above them over one host-level staging link each, shared by every GPU.
 type Cluster struct {
 	Spec  GPUSpec
 	N     int
 	cfg   moe.Config
 	links []*Link
+
+	hier    Hierarchy
+	staging []*Link // staging[j] feeds host tier j from host tier j+1
 }
 
-// NewCluster builds an N-GPU cluster for the given model.
+// NewCluster builds an N-GPU cluster for the given model over the
+// degenerate two-tier hierarchy (unbounded DRAM, no staging links) — the
+// seed's memory model.
 func NewCluster(spec GPUSpec, n int, cfg moe.Config) *Cluster {
+	return NewTieredCluster(spec, n, cfg, Hierarchy{})
+}
+
+// NewTieredCluster builds an N-GPU cluster over an explicit host-memory
+// hierarchy. A zero-value hierarchy normalizes to the degenerate two-tier
+// configuration.
+func NewTieredCluster(spec GPUSpec, n int, cfg moe.Config, h Hierarchy) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("memsim: invalid GPU count %d", n))
 	}
-	c := &Cluster{Spec: spec, N: n, cfg: cfg}
+	h = h.withDefaults()
+	if err := h.Validate(); err != nil {
+		panic("memsim: " + err.Error())
+	}
+	c := &Cluster{Spec: spec, N: n, cfg: cfg, hier: h}
 	for i := 0; i < n; i++ {
 		c.links = append(c.links, NewLink(spec, cfg.ExpertBytes()))
 	}
+	for j := 1; j < len(h.Host); j++ {
+		t := h.Host[j]
+		c.staging = append(c.staging, NewRawLink(t.GBps, t.LatencyMS, cfg.ExpertBytes()))
+	}
 	return c
 }
+
+// Hierarchy returns the cluster's normalized host-memory hierarchy.
+func (c *Cluster) Hierarchy() Hierarchy { return c.hier }
 
 // GPUFor returns the device index owning an expert.
 func (c *Cluster) GPUFor(ref moe.ExpertRef) int {

@@ -1,0 +1,118 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"finemoe/internal/moe"
+)
+
+func TestHierarchyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Hierarchy
+		ok   bool
+	}{
+		{"two-tier", TwoTier(), true},
+		{"three-tier", ThreeTier(1 << 30), true},
+		{"bounded bottom", Hierarchy{Host: []TierSpec{{Name: "DRAM", CapacityBytes: 1}}}, false},
+		{"unbounded middle", Hierarchy{Host: []TierSpec{
+			{Name: "DRAM"},
+			{Name: "NVMe", GBps: 1},
+		}}, false},
+		{"missing bandwidth", Hierarchy{Host: []TierSpec{
+			{Name: "DRAM", CapacityBytes: 1},
+			{Name: "NVMe"},
+		}}, false},
+		{"four-tier", Hierarchy{Host: []TierSpec{
+			{Name: "DRAM", CapacityBytes: 1 << 30},
+			{Name: "CXL", CapacityBytes: 4 << 30, GBps: 20, LatencyMS: 0.02},
+			{Name: "NVMe", GBps: 6.8, LatencyMS: 0.1},
+		}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.h.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	if err := (Hierarchy{}).Validate(); err == nil {
+		t.Error("empty hierarchy validated without normalization")
+	}
+}
+
+func TestDegenerateClusterHasNoStaging(t *testing.T) {
+	cfg := moe.Tiny()
+	c := NewCluster(RTX3090(), 2, cfg)
+	if d := c.Hierarchy().Depth(); d != 1 {
+		t.Fatalf("degenerate hierarchy depth %d, want 1", d)
+	}
+	if len(c.StagingStats()) != 0 {
+		t.Fatal("degenerate cluster has staging links")
+	}
+	if c.StageTracked(moe.ExpertRef{}) {
+		t.Fatal("degenerate cluster tracks staging transfers")
+	}
+	if got := c.AdvanceStagingTo(1e9); got != nil {
+		t.Fatalf("degenerate staging drain returned %v", got)
+	}
+}
+
+// TestStagingLinkTiming verifies a staging copy pays the tier's fixed
+// latency plus bytes/bandwidth, and that consecutive on-demand staging
+// loads serialize on the single shared link.
+func TestStagingLinkTiming(t *testing.T) {
+	cfg := moe.Tiny()
+	h := ThreeTier(cfg.ExpertBytes() * 4)
+	c := NewTieredCluster(RTX3090(), 2, cfg, h)
+
+	dur := DefaultNVMeLatencyMS + float64(cfg.ExpertBytes())/(DefaultNVMeGBps*1e6)
+	a, b := moe.ExpertRef{Layer: 0, Expert: 0}, moe.ExpertRef{Layer: 0, Expert: 1}
+
+	endA := c.StageOnDemand(0, a, 0)
+	if math.Abs(endA-dur) > 1e-9 {
+		t.Fatalf("staging end %v, want %v", endA, dur)
+	}
+	// The second load shares the one host-level link: it serializes
+	// behind the first even though the experts belong to different GPUs.
+	endB := c.StageOnDemand(0, b, 0)
+	if math.Abs(endB-2*dur) > 1e-9 {
+		t.Fatalf("serialized staging end %v, want %v", endB, 2*dur)
+	}
+	done := c.AdvanceStagingTo(endB)
+	if len(done) != 2 {
+		t.Fatalf("drained %d staging transfers, want 2", len(done))
+	}
+	for _, st := range done {
+		if st.Level != 0 {
+			t.Fatalf("staging transfer landed at level %d, want 0", st.Level)
+		}
+	}
+	st := c.StagingStats()
+	if len(st) != 1 || st[0].OnDemands != 2 {
+		t.Fatalf("staging stats %+v, want one link with 2 on-demands", st)
+	}
+}
+
+// TestStagePrefetchDedup verifies duplicate staging prefetches for a
+// tracked expert are refused, and StageTracked observes the queue.
+func TestStagePrefetchDedup(t *testing.T) {
+	cfg := moe.Tiny()
+	c := NewTieredCluster(RTX3090(), 1, cfg, ThreeTier(cfg.ExpertBytes()*4))
+	ref := moe.ExpertRef{Layer: 1, Expert: 2}
+	if !c.StagePrefetch(0, ref, 1.0, 0) {
+		t.Fatal("first staging prefetch refused")
+	}
+	if !c.StageTracked(ref) {
+		t.Fatal("queued staging transfer not tracked")
+	}
+	if c.StagePrefetch(0, ref, 2.0, 0) {
+		t.Fatal("duplicate staging prefetch accepted")
+	}
+	if c.StagingQueueLen() != 1 {
+		t.Fatalf("staging queue %d, want 1", c.StagingQueueLen())
+	}
+}

@@ -53,8 +53,39 @@ type Runtime interface {
 	SyncLoad(refs []moe.ExpertRef, now float64) float64
 	// Resident reports whether the expert's weights are in GPU memory.
 	Resident(ref moe.ExpertRef) bool
-	// Tracked reports whether a transfer for ref is queued or in flight.
+	// Tracked reports whether a transfer for ref is queued or in flight
+	// on any link of the hierarchy (PCIe upload or deeper staging).
 	Tracked(ref moe.ExpertRef) bool
+
+	// Tier returns the topmost memory tier where ref is resident:
+	// 0 = GPU HBM, 1 = host DRAM, rising through the configured
+	// hierarchy. The bottom tier always holds every expert, so Tier
+	// never fails. Under the degenerate two-tier configuration the
+	// answer is always 0 or 1.
+	Tier(ref moe.ExpertRef) int
+	// Promote asynchronously stages ref one tier upward (toward the
+	// GPU): a DRAM-resident expert gets a PCIe upload, a deeper one a
+	// staging copy into the tier above. Returns false when ref is
+	// already GPU-resident or a transfer for it is tracked. Unlike
+	// Prefetch it does not chain across tiers — policies that want the
+	// full route use Prefetch, which stages through every intermediate
+	// tier automatically.
+	Promote(ref moe.ExpertRef, priority, issueTime float64) bool
+	// Demote drops ref's topmost resident copy one tier down at virtual
+	// time now: a GPU-resident expert falls back to DRAM, a
+	// DRAM-resident one to the tier below (its backing copy; the drop
+	// is free — expert weights are immutable). Returns false when ref
+	// is resident only in the unbounded bottom tier, or when its GPU
+	// copy is pinned by the executing layer (in-use weights are never
+	// dropped).
+	Demote(ref moe.ExpertRef, now float64) bool
+	// MemoryPressure reports the host DRAM tier's thrash level in
+	// [0, 1]: the exponentially decayed fraction of recent expert
+	// fetches that had to be staged from below DRAM. 0 under the
+	// degenerate unbounded configuration (no fetch can spill), rising
+	// toward 1 when the working set outgrows the DRAM budget and churns
+	// through the staging link.
+	MemoryPressure() float64
 }
 
 // Policy is an expert offloading strategy. Hook return values are

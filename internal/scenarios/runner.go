@@ -31,6 +31,10 @@ type Options struct {
 	// CacheBytes is each instance's expert-cache budget (0 = the
 	// engine's derived default).
 	CacheBytes int64
+	// DRAMBytes bounds each instance's host DRAM tier, spilling experts
+	// to an NVMe backing tier behind a shared staging link (0 = the
+	// degenerate unbounded-DRAM hierarchy).
+	DRAMBytes int64
 	// MaxInput and MaxOutput clamp token counts (0 = unclamped); applied
 	// to trace requests and injected follow-ups alike.
 	MaxInput, MaxOutput int
@@ -84,6 +88,7 @@ func (r *Runner) engine() *serve.Engine {
 		Model: r.model, GPU: r.opts.GPU, NumGPUs: r.opts.NumGPUs,
 		CacheBytes: r.opts.CacheBytes,
 		Policy:     pol,
+		Memory:     memsim.ThreeTier(r.opts.DRAMBytes),
 	})
 }
 

@@ -113,10 +113,12 @@ func NewRouter(name string) (cluster.Router, error) {
 		return cluster.NewRoundRobin(), nil
 	case "least-loaded":
 		return cluster.NewLeastLoaded(), nil
+	case "memory-aware", "memory":
+		return cluster.NewMemoryAware(), nil
 	case "semantic-affinity", "semantic", "":
 		return cluster.NewSemanticAffinity(cluster.SemanticAffinityOptions{}), nil
 	}
-	return nil, fmt.Errorf("scenarios: unknown router %q (round-robin|least-loaded|semantic-affinity)", name)
+	return nil, fmt.Errorf("scenarios: unknown router %q (round-robin|least-loaded|memory-aware|semantic-affinity)", name)
 }
 
 // NewAdmission resolves a FleetSpec's admission name to a fresh policy

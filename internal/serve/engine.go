@@ -38,6 +38,17 @@ type Options struct {
 	MaxBatch int
 	// PreloadAll makes every expert resident at t=0 (No-offload).
 	PreloadAll bool
+	// Memory configures the tiered host-memory hierarchy below the GPU
+	// expert cache. The zero value is the degenerate two-tier
+	// configuration (unbounded DRAM), which reproduces pre-tiering
+	// results byte-identically; memsim.ThreeTier(dramBytes) bounds DRAM
+	// and spills experts to an NVMe backing tier behind a shared
+	// staging link.
+	Memory memsim.Hierarchy
+	// HostScorer ranks bounded host-tier residents for demotion (nil =
+	// the policy's own Scorer, so the cache-eviction ablation surface
+	// extends to every tier).
+	HostScorer cache.Scorer
 }
 
 // RequestMetrics records one served request.
@@ -96,6 +107,14 @@ type Result struct {
 	PolicyOverheadBytes int64
 	CacheStats          cache.Stats
 	LinkStats           memsim.LinkStats
+	// Tiers reports per-tier residency and transfer statistics, topmost
+	// (GPU HBM) first; under the degenerate two-tier configuration the
+	// host entry is the unbounded DRAM backing store.
+	Tiers []TierStat
+	// MemoryPressure is the host DRAM tier's end-of-run thrash level:
+	// the decayed fraction of recent expert fetches staged from below
+	// DRAM (0 when DRAM is unbounded or ample).
+	MemoryPressure float64
 	// WallClockMS is the simulated makespan of the run.
 	WallClockMS float64
 }
@@ -116,6 +135,21 @@ type Engine struct {
 	cluster *memsim.Cluster
 	caches  *cache.Set
 	pol     policy.Policy
+
+	// Tiered host memory: host[0] is DRAM, deeper entries slower tiers;
+	// the last is always the unbounded backing store. pendingUp chains
+	// asynchronous prefetches across tiers: an expert whose staging copy
+	// is in flight maps to the priority of the next hop to issue when it
+	// lands. tierDrops counts per-host-tier capacity evictions.
+	host      []*cache.HostTier
+	pendingUp map[moe.ExpertRef]float64
+	tierDrops []int
+	// memSpill is the exponentially decayed fraction of recent expert
+	// fetches that had to be staged from below DRAM — the thrash signal
+	// MemoryPressure reports. Occupancy would be useless here: a
+	// warm-filled bounded tier sits at 100% occupancy for the whole run
+	// regardless of whether the working set actually fits.
+	memSpill float64
 
 	breakdown  map[string]float64
 	iterations int
@@ -165,20 +199,29 @@ func New(opts Options) *Engine {
 			opts.CacheBytes = cfg.ExpertBytes() * int64(cfg.Layers)
 		}
 	}
+	hostScorer := opts.HostScorer
+	if hostScorer == nil {
+		hostScorer = opts.Policy.Scorer()
+	}
+	cl := memsim.NewTieredCluster(opts.GPU, opts.NumGPUs, cfg, opts.Memory)
 	e := &Engine{
 		opts:      opts,
 		cfg:       cfg,
 		model:     opts.Model,
-		cluster:   memsim.NewCluster(opts.GPU, opts.NumGPUs, cfg),
+		cluster:   cl,
 		caches:    cache.NewSet(cfg, opts.NumGPUs, opts.CacheBytes, opts.Policy.Scorer()),
 		pol:       opts.Policy,
+		host:      buildHostTiers(cl.Hierarchy(), cfg, hostScorer),
+		pendingUp: map[moe.ExpertRef]float64{},
 		breakdown: map[string]float64{},
 	}
+	e.tierDrops = make([]int, len(e.host))
+	warmHostTiers(e.host, cfg)
 	e.pol.Attach(e)
 	if opts.PreloadAll {
 		for l := 0; l < cfg.Layers; l++ {
 			for j := 0; j < cfg.RoutedExperts; j++ {
-				e.caches.Insert(moe.ExpertRef{Layer: l, Expert: j}, 0)
+				e.gpuInsert(moe.ExpertRef{Layer: l, Expert: j}, 0)
 			}
 		}
 	}
@@ -193,38 +236,93 @@ func (e *Engine) Config() moe.Config { return e.cfg }
 // Resident implements policy.Runtime.
 func (e *Engine) Resident(ref moe.ExpertRef) bool { return e.caches.Contains(ref) }
 
-// Tracked implements policy.Runtime.
-func (e *Engine) Tracked(ref moe.ExpertRef) bool { return e.cluster.Tracked(ref) }
+// Tracked implements policy.Runtime: a transfer for ref is queued or in
+// flight on the PCIe links or any staging link of the hierarchy.
+func (e *Engine) Tracked(ref moe.ExpertRef) bool {
+	return e.cluster.Tracked(ref) || e.cluster.StageTracked(ref)
+}
 
-// Prefetch implements policy.Runtime.
+// Prefetch implements policy.Runtime: route the expert asynchronously up
+// through the hierarchy. A DRAM-resident expert goes straight onto its
+// GPU's PCIe link (the seed's whole path); a deeper one starts a staging
+// chain whose completions issue the next hop at the original priority.
 func (e *Engine) Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool {
 	if e.caches.Contains(ref) {
 		return false
 	}
-	return e.cluster.Prefetch(ref, priority, issueTime)
+	level := e.hostLevel(ref)
+	if level == 0 {
+		ok := e.cluster.Prefetch(ref, priority, issueTime)
+		if ok {
+			e.noteMemFetch(level)
+			e.host[0].Touch(ref, issueTime)
+			e.host[0].Pin(ref)
+		}
+		return ok
+	}
+	if e.cluster.Tracked(ref) || e.cluster.StageTracked(ref) {
+		return false
+	}
+	if _, dup := e.pendingUp[ref]; dup {
+		return false
+	}
+	if !e.cluster.StagePrefetch(level-1, ref, priority, issueTime) {
+		return false
+	}
+	e.noteMemFetch(level)
+	e.pendingUp[ref] = priority
+	return true
 }
 
-// SyncLoad implements policy.Runtime: blocking parallel loads across links.
+// SyncLoad implements policy.Runtime: blocking loads parallelized across
+// the per-GPU links (each expert loads on its owner; staging hops for
+// below-DRAM experts serialize on the shared staging links).
 func (e *Engine) SyncLoad(refs []moe.ExpertRef, now float64) float64 {
-	var missing []moe.ExpertRef
+	end := now
+	loaded := false
 	for _, r := range refs {
-		if !e.caches.Contains(r) {
-			missing = append(missing, r)
+		if e.caches.Contains(r) {
+			continue
+		}
+		loaded = true
+		if t := e.fetchOnDemand(r, now); t > end {
+			end = t
 		}
 	}
-	if len(missing) == 0 {
+	if !loaded {
 		return now
 	}
-	end := e.cluster.SyncLoad(missing, now)
 	e.drain(end)
 	e.syncLoadMS += end - now
 	return end
 }
 
-// drain advances the cluster to now and makes completed transfers resident.
+// drain advances every link to now: completed staging copies land in
+// their host tier and chain the next prefetch hop; completed PCIe
+// uploads unpin their DRAM source and become GPU-resident (demoting the
+// cache's evictions down the hierarchy).
 func (e *Engine) drain(now float64) {
+	if e.cluster.Hierarchy().Depth() > 1 {
+		for _, st := range e.cluster.AdvanceStagingTo(now) {
+			e.hostInsert(st.Level, st.Ref, st.End)
+			pri, ok := e.pendingUp[st.Ref]
+			if !ok {
+				continue
+			}
+			if st.Level == 0 {
+				delete(e.pendingUp, st.Ref)
+				if e.cluster.Prefetch(st.Ref, pri, st.End) {
+					e.host[0].Touch(st.Ref, st.End)
+					e.host[0].Pin(st.Ref)
+				}
+			} else {
+				e.cluster.StagePrefetch(st.Level-1, st.Ref, pri, st.End)
+			}
+		}
+	}
 	for _, t := range e.cluster.AdvanceTo(now) {
-		e.caches.Insert(t.Ref, t.End)
+		e.host[0].Unpin(t.Ref)
+		e.gpuInsert(t.Ref, t.End)
 	}
 }
 
@@ -309,7 +407,7 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 				continue
 			}
 			e.misses++
-			avail := e.cluster.OnDemand(ref, now)
+			avail := e.fetchOnDemand(ref, now)
 			stall := avail - now
 			now = avail
 			e.account(policy.CompLoad, stall)
@@ -418,6 +516,8 @@ func (e *Engine) finalize(reqs []RequestMetrics, wallClock float64) *Result {
 		PolicyOverheadBytes: e.pol.MemoryOverheadBytes(),
 		CacheStats:          e.caches.Stats(),
 		LinkStats:           e.cluster.Stats(),
+		Tiers:               e.TierStats(),
+		MemoryPressure:      e.MemoryPressure(),
 		WallClockMS:         wallClock,
 	}
 	var ttfts, tpots, e2es []float64

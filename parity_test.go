@@ -1,0 +1,153 @@
+package finemoe
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"finemoe/internal/metrics"
+)
+
+// updateResultParity rewrites the committed serve.Result goldens. Run
+// after an intentional engine change:
+//
+//	go test . -run ResultParityGolden -update-result-parity
+var updateResultParity = flag.Bool("update-result-parity", false,
+	"rewrite testdata/parity result goldens")
+
+// f formats a float at full precision so any arithmetic drift — even one
+// ULP — breaks the golden.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func summaryLine(name string, s metrics.Summary) string {
+	return fmt.Sprintf("%s n=%d mean=%s min=%s max=%s p50=%s p90=%s p99=%s std=%s",
+		name, s.N, f(s.Mean), f(s.Min), f(s.Max), f(s.P50), f(s.P90), f(s.P99), f(s.Std))
+}
+
+// serializeResult renders every pre-refactor field of a serve.Result,
+// including per-request metrics, in a stable full-precision text form.
+func serializeResult(res *Result) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("policy=%s model=%s", res.Policy, res.Model)
+	w("mean_ttft=%s mean_tpot=%s", f(res.MeanTTFT), f(res.MeanTPOT))
+	w("%s", summaryLine("ttft", res.TTFT))
+	w("%s", summaryLine("tpot", res.TPOT))
+	w("%s", summaryLine("e2e", res.E2E))
+	w("hits=%d misses=%d hit_rate=%s iterations=%d", res.Hits, res.Misses, f(res.HitRate), res.Iterations)
+	w("gpu_mem=%d policy_overhead=%d wall_clock=%s", res.GPUMemoryBytes, res.PolicyOverheadBytes, f(res.WallClockMS))
+	cs := res.CacheStats
+	w("cache hits=%d misses=%d ins=%d ev=%d pinned_ev=%d rej=%d peak=%d cur=%d",
+		cs.Hits, cs.Misses, cs.Insertions, cs.Evictions, cs.PinnedEvictions,
+		cs.RejectedInserts, cs.PeakResidentExp, cs.CurrentResident)
+	ls := res.LinkStats
+	w("link prefetch=%d on_demand=%d busy=%s", ls.Prefetches, ls.OnDemands, f(ls.BusyMS))
+	comps := make([]string, 0, len(res.Breakdown))
+	for k := range res.Breakdown {
+		comps = append(comps, k)
+	}
+	sort.Strings(comps)
+	for _, k := range comps {
+		w("breakdown.%s=%s", k, f(res.Breakdown[k]))
+	}
+	for _, q := range res.Requests {
+		w("req id=%d arr=%s start=%s first=%s end=%s ttft=%s tpot=%s e2e=%s hits=%d misses=%d out=%d",
+			q.ID, f(q.ArrivalMS), f(q.StartMS), f(q.FirstTokenMS), f(q.EndMS),
+			f(q.TTFTms), f(q.TPOTms), f(q.E2Ems), q.Hits, q.Misses, q.OutputTokens)
+	}
+	return b.String()
+}
+
+// paritySystems builds the five policies over the tiny model, mirroring
+// the experiment harness's lineup at a small fixed cache budget.
+func paritySystems(m *Model, storeReqs []Request) []struct {
+	name    string
+	policy  func() Policy
+	preload bool
+} {
+	cfg := m.Cfg
+	return []struct {
+		name    string
+		policy  func() Policy
+		preload bool
+	}{
+		{"finemoe", func() Policy {
+			return NewFineMoE(BuildStoreFromRequests(m, storeReqs, 200), FineMoEOptions{})
+		}, false},
+		{"moe-infinity", func() Policy { return NewMoEInfinity(cfg) }, false},
+		{"promoe", func() Policy { return NewProMoE(m) }, false},
+		{"mixtral-offload", func() Policy { return NewMixtralOffload(m) }, false},
+		{"deepspeed", func() Policy { return NewDeepSpeed() }, false},
+	}
+}
+
+// TestResultParityGolden pins the full serve.Result — every aggregate and
+// every per-request metric at full float precision — for offline and
+// online runs of all five systems, against goldens recorded before the
+// tiered-memory refactor. The default (degenerate two-tier) memory
+// configuration must keep these bytes identical.
+func TestResultParityGolden(t *testing.T) {
+	cfg := TinyModel()
+	model := NewModel(cfg, 7)
+	ds := LMSYSChat1M()
+	reqs := ds.Sample(WorkloadOptions{Dim: cfg.SemDim, N: 24, Seed: 3, FixedLengths: true})
+	storeReqs, testReqs := SplitRequests(reqs, 0.5)
+	trace := AzureTrace(ds, cfg.SemDim, TraceConfig{RatePerSec: 6, N: 16, Seed: 4})
+
+	var b strings.Builder
+	for _, sys := range paritySystems(model, storeReqs) {
+		off := NewEngine(EngineOptions{
+			Model: model, GPU: RTX3090(), NumGPUs: 2,
+			CacheBytes: 6 * cfg.ExpertBytes(), Policy: sys.policy(),
+		}).RunOffline(testReqs, nil)
+		fmt.Fprintf(&b, "== offline/%s ==\n%s", sys.name, serializeResult(off))
+		on := NewEngine(EngineOptions{
+			Model: model, GPU: RTX3090(), NumGPUs: 2,
+			CacheBytes: 6 * cfg.ExpertBytes(), Policy: sys.policy(), MaxBatch: 4,
+		}).RunOnline(trace, nil)
+		fmt.Fprintf(&b, "== online/%s ==\n%s", sys.name, serializeResult(on))
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "parity", "serve_result.txt")
+	if *updateResultParity {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-result-parity): %v", err)
+	}
+	if got != string(want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		lo, hi := i-120, i+120
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(s string) string {
+			h := hi
+			if h > len(s) {
+				h = len(s)
+			}
+			if lo >= h {
+				return ""
+			}
+			return s[lo:h]
+		}
+		t.Fatalf("serve.Result drifted from pre-refactor golden at byte %d:\n--- want\n%s\n--- got\n%s",
+			i, clip(string(want)), clip(got))
+	}
+}
