@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test test-short lint vet-lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The repo's determinism/hot-path contract checker (internal/analysis);
+# see the "Determinism contract" section of ARCHITECTURE.md.
+lint:
+	$(GO) run ./cmd/finemoe-lint ./...
+
+# Same analyzers driven through cmd/go's vet cache (incremental re-runs).
+vet-lint:
+	$(GO) build -o $(CURDIR)/bin/finemoe-lint ./cmd/finemoe-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/finemoe-lint ./...
+
+fmt:
+	gofmt -w .

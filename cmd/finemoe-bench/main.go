@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"finemoe/internal/experiments"
+	"finemoe/internal/walltime"
 )
 
 func main() {
@@ -135,7 +136,7 @@ func main() {
 	ctx := experiments.NewContext(sc, *seed)
 	ctx.Workers = *workers
 	for _, id := range ids {
-		start := time.Now()
+		watch := walltime.Start()
 		out, err := experiments.Run(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
@@ -147,7 +148,7 @@ func main() {
 			fmt.Println(out.String())
 		}
 		if !*quiet {
-			fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("-- %s completed in %v --\n\n", id, watch.ElapsedRounded(time.Millisecond))
 		}
 	}
 	writeMemProfile()

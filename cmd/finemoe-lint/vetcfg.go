@@ -1,0 +1,153 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"go/types"
+
+	"finemoe/internal/analysis"
+	"finemoe/internal/analysis/checker"
+)
+
+// vetConfig mirrors the JSON config cmd/go hands a -vettool per package
+// (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes the single package described by a vet cfg file and
+// returns the process exit code. The finemoe analyzers carry no
+// cross-package facts, so the facts (.vetx) output is just a placeholder
+// for cmd/go's cache.
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "finemoe-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	writeVetx(&cfg)
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// The standalone driver analyzes non-test files only; keep the vet
+	// path consistent so `go vet -vettool` and `go run ./cmd/finemoe-lint`
+	// agree on what clean means.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "finemoe-lint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := checker.Analyze(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers the go vet -V=full handshake. The format is the
+// one cmd/go's toolID parser accepts for "devel" tools: the last field
+// must be buildID=<content-id>, and hashing the executable makes the id
+// track the tool's actual build.
+func printVersion() {
+	name := "finemoe-lint"
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err2 := os.ReadFile(exe); err2 == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x/%x", sum[:12], sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	// No cross-package facts: an empty file satisfies cmd/go's cache.
+	_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}

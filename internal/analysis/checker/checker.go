@@ -1,0 +1,68 @@
+// Package checker is the multichecker driver behind cmd/finemoe-lint: it
+// loads the requested packages once (offline, through the build cache's
+// export data) and runs every registered analyzer over each, printing
+// file:line:col-sorted diagnostics.
+package checker
+
+import (
+	"fmt"
+	"io"
+
+	"finemoe/internal/analysis"
+)
+
+// Run loads patterns relative to dir, applies analyzers, and writes
+// diagnostics to w. It returns the number of diagnostics.
+func Run(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := Analyze(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(w, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// Analyze runs the analyzers over one loaded package and returns sorted
+// diagnostics.
+func Analyze(pkg *analysis.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	analysis.SortDiagnostics(pkg.Fset, diags)
+	// Drop exact duplicates (an analyzer can reach the same node twice
+	// through nested inspections).
+	return dedup(diags), nil
+}
+
+func dedup(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+// Package detrange flags `for … range` over a map inside the simulator
+// packages: Go randomizes map iteration order, so any map loop whose body
+// is not order-independent can leak nondeterminism into goldens. A loop is
+// accepted without annotation when it is provably commutative — it only
+// accumulates into integer scalars, tracks a running min/max, deletes
+// keys, writes per-key entries of another map, or collects keys into a
+// slice that the same function visibly sorts. Anything else needs either a
+// restructure (sort the keys first) or a
+// //finemoe:nondeterministic-ok <reason> directive.
+//
+// Floating-point accumulation (sumMS += v) is deliberately NOT accepted:
+// float addition is not associative, so reordering a map walk changes the
+// low bits and breaks byte-identical goldens.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is the escape-hatch vocabulary entry detrange honors.
+const Directive = "nondeterministic-ok"
+
+// Scope limits the analyzer to the simulator packages (trailing-segment
+// match on the import path).
+var Scope = analysis.SimPackages
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags nondeterministic map iteration in simulator packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				checkRange(pass, rs, fn.Body)
+				return true
+			})
+			return false
+		})
+	}
+	return nil, nil
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if commutativeBody(pass, rs, fnBody) {
+		return
+	}
+	if pass.Allowed(Directive, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map %s has nondeterministic iteration order; sort the keys, make the body commutative, or annotate //finemoe:%s <reason>",
+		types.ExprString(rs.X), Directive)
+}
+
+// commutativeBody reports whether every top-level statement in the loop
+// body is order-independent.
+func commutativeBody(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rs.Body.List {
+		if !commutativeStmt(pass, rs, stmt, fnBody) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt, fnBody *ast.BlockStmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// count++ / count--: pure counting commutes.
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k): set removal commutes.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && fn.Name == "delete" && pass.TypesInfo.Uses[fn] == types.Universe.Lookup("delete")
+	case *ast.AssignStmt:
+		return commutativeAssign(pass, rs, s, fnBody)
+	case *ast.IfStmt:
+		return commutativeIf(pass, rs, s, fnBody)
+	}
+	return false
+}
+
+func commutativeAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt, fnBody *ast.BlockStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	// m2[k] op= v / m2[k] = v: updates keyed by the (distinct) range keys
+	// touch each slot exactly once, so they commute for any element type —
+	// as long as the value doesn't read the written map across keys.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		return mapWritePerKey(pass, rs, ix, rhs)
+	}
+	// v.Field = <loop-invariant constant>: per-entry writes through the
+	// range value commute (each entry is visited once).
+	if s.Tok == token.ASSIGN {
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			return rootedAtRangeValue(pass, rs, sel) && isConstant(pass, rhs)
+		}
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// Integer accumulation commutes bit-for-bit; float accumulation
+		// does not (addition order changes the low bits), and string +=
+		// concatenates in iteration order.
+		return isInteger(pass, lhs)
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return isInteger(pass, lhs)
+	case token.ASSIGN:
+		// best = max(best, v) / best = min(best, v).
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && (fn.Name == "max" || fn.Name == "min") &&
+				pass.TypesInfo.Uses[fn] == types.Universe.Lookup(fn.Name) {
+				lhsStr := types.ExprString(lhs)
+				for _, arg := range call.Args {
+					if types.ExprString(arg) == lhsStr {
+						return true
+					}
+				}
+			}
+		}
+		// keys = append(keys, k) (or values), with a visible sort later in
+		// the same function: the canonical collect-then-sort idiom.
+		if isCollect(pass, rs, lhs, rhs) {
+			return sortedAfter(pass, rs, lhs, fnBody)
+		}
+	}
+	return false
+}
+
+// commutativeIf accepts the order-independent conditional shapes: a
+// filter (`if cond { continue }`), a running min/max (`if v > best
+// { best = v }` — the assigned variable must itself appear in the
+// comparison, so ties cannot make the result order-dependent), and a
+// guarded commutative body (`if !seen[k] { delete(m, k) }`) whose
+// condition reads nothing the loop mutates.
+func commutativeIf(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.IfStmt, fnBody *ast.BlockStmt) bool {
+	if s.Else != nil || s.Init != nil || len(s.Body.List) == 0 {
+		return false
+	}
+	if len(s.Body.List) == 1 {
+		if br, ok := s.Body.List[0].(*ast.BranchStmt); ok {
+			return br.Tok == token.CONTINUE
+		}
+		if isRunningExtremum(pass, s) {
+			return true
+		}
+	}
+	// General guarded form: every body statement commutes on its own, and
+	// the condition is independent of anything the loop body mutates — a
+	// condition reading a loop-mutated accumulator (`if count < 3
+	// { count++ }`) selects iteration-order-dependent entries.
+	for _, stmt := range s.Body.List {
+		if !commutativeStmt(pass, rs, stmt, fnBody) {
+			return false
+		}
+	}
+	mutated := mutatedObjects(pass, rs.Body)
+	independent := true
+	ast.Inspect(s.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && mutated[obj] {
+				independent = false
+			}
+		}
+		return independent
+	})
+	return independent
+}
+
+func isRunningExtremum(pass *analysis.Pass, s *ast.IfStmt) bool {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhsStr := types.ExprString(as.Lhs[0])
+	rhsStr := types.ExprString(as.Rhs[0])
+	// `if v > best { best = v }`: target is one comparison operand, the
+	// assigned value is the other.
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (lhsStr == x && rhsStr == y) || (lhsStr == y && rhsStr == x)
+}
+
+// mutatedObjects collects every object the loop body assigns, increments,
+// or deletes from (the roots of lhs expressions and delete targets).
+func mutatedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	mutated := map[types.Object]bool{}
+	addRoot := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+				continue
+			case *ast.IndexExpr:
+				e = x.X
+				continue
+			case *ast.ParenExpr:
+				e = x.X
+				continue
+			case *ast.Ident:
+				if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+					mutated[obj] = true
+				}
+			}
+			return
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				addRoot(lhs)
+			}
+		case *ast.IncDecStmt:
+			addRoot(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" &&
+				pass.TypesInfo.Uses[id] == types.Universe.Lookup("delete") && len(n.Args) > 0 {
+				addRoot(n.Args[0])
+			}
+		}
+		return true
+	})
+	return mutated
+}
+
+// rootedAtRangeValue reports whether the selector chain bottoms out at the
+// loop's value identifier (v.Field, v.Inner.Field).
+func rootedAtRangeValue(pass *analysis.Pass, rs *ast.RangeStmt, sel *ast.SelectorExpr) bool {
+	val, ok := rs.Value.(*ast.Ident)
+	if !ok || val.Name == "_" {
+		return false
+	}
+	base := sel.X
+	for {
+		if inner, ok := base.(*ast.SelectorExpr); ok {
+			base = inner.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == pass.TypesInfo.ObjectOf(val)
+}
+
+// isConstant reports whether the expression is a compile-time constant
+// (and therefore loop-invariant).
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func mapWritePerKey(pass *analysis.Pass, rs *ast.RangeStmt, ix *ast.IndexExpr, rhs ast.Expr) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	idx, ok := ix.Index.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(idx) != pass.TypesInfo.ObjectOf(key) {
+		return false
+	}
+	if t := pass.TypesInfo.TypeOf(ix.X); t == nil {
+		return false
+	} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	// The written value must not read the target map (no cross-key flow).
+	target := types.ExprString(ix.X)
+	clean := true
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == target {
+			clean = false
+		}
+		return clean
+	})
+	return clean
+}
+
+// isCollect matches `s = append(s, k)` / `s = append(s, v)` where k/v is
+// the range key or value — order-dependent on its own, deterministic once
+// sortedAfter confirms a visible sort.
+func isCollect(pass *analysis.Pass, rs *ast.RangeStmt, lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || pass.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	lhsID, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(base) != pass.TypesInfo.ObjectOf(lhsID) {
+		return false
+	}
+	elem, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	elemObj := pass.TypesInfo.ObjectOf(elem)
+	for _, loopVar := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := loopVar.(*ast.Ident); ok && id.Name != "_" && pass.TypesInfo.ObjectOf(id) == elemObj {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether the collected slice is passed to a
+// sort.* / slices.Sort* call after the loop, inside the same function.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt, lhs ast.Expr, fnBody *ast.BlockStmt) bool {
+	lhsObj := pass.TypesInfo.ObjectOf(lhs.(*ast.Ident))
+	if lhsObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		ast.Inspect(call.Args[0], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == lhsObj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+// isInteger reports whether the expression has an integer basic type.
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "../testdata", detrange.Analyzer, "internal/metrics", "outofscope")
+}

@@ -1,0 +1,241 @@
+// Package mustrelease tracks the pooled search resources in internal/core
+// — the *Query a Searcher.Prepare returns and the *Cursor a
+// NewCursor/NewCursorQ returns — and flags acquisitions whose Release is
+// missing on some path. Leaking one doesn't crash anything: the sync.Pool
+// just stops recycling, the zero-alloc steady state PR 4 measured decays
+// back into per-request garbage, and no test notices. The analyzer makes
+// the ownership contract mechanical:
+//
+//   - a discarded result (`s.Prepare(sem)` as a statement) is a leak;
+//   - a result bound to a local must reach a Release call, be returned,
+//     be stored into longer-lived state, or be handed to another function
+//     (which then owns it);
+//   - a plain (non-deferred) Release does not excuse an earlier return:
+//     any return between the acquisition and the first Release is a leak
+//     path.
+//
+// Deliberate exceptions carry //finemoe:release-ok <reason>.
+package mustrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is the escape-hatch vocabulary entry mustrelease honors.
+const Directive = "release-ok"
+
+// OwnerPackages lists the packages (trailing-segment match) whose
+// Release-bearing types the analyzer tracks.
+var OwnerPackages = []string{"internal/core"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mustrelease",
+	Doc:  "flags pooled core.Query/core.Cursor acquisitions that are never released",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// acquires reports whether call returns a pooled resource (a pointer to a
+// Release-bearing type from an owner package).
+func acquires(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return analysis.TypeHasRelease(t, OwnerPackages)
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && acquires(pass, call) {
+				// Result discarded on the spot — unless the expression is a
+				// fluent chain ending in Release (x.NewCursorQ(q).Release()
+				// never acquires at statement level; the inner call is the
+				// receiver of a release).
+				if !pass.Allowed(Directive, s) {
+					pass.Reportf(call.Pos(), "result of %s is a pooled resource but is discarded without Release", types.ExprString(call.Fun))
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, fn, s)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, fn *ast.FuncDecl, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !acquires(pass, call) {
+		return
+	}
+	if len(s.Lhs) != 1 {
+		return
+	}
+	switch lhs := s.Lhs[0].(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			if !pass.Allowed(Directive, s) {
+				pass.Reportf(call.Pos(), "result of %s is a pooled resource but is assigned to _ without Release", types.ExprString(call.Fun))
+			}
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return
+		}
+		// A write to a captured or package-level variable escapes.
+		if obj.Pos() < fn.Pos() || obj.Pos() >= fn.End() {
+			return
+		}
+		checkLifetime(pass, fn, s, call, obj)
+	default:
+		// Stored into a field, map or slice element: escapes to
+		// longer-lived state whose owner releases it (e.g. the per-request
+		// cursor released by EndRequest).
+	}
+}
+
+type use struct {
+	released    token.Pos // position of a v.Release() call (NoPos if none)
+	deferred    bool      // any release is via defer
+	escapes     bool      // returned, reassigned, stored, or passed along
+	firstRel    token.Pos
+	returnsSeen []*ast.ReturnStmt
+}
+
+func checkLifetime(pass *analysis.Pass, fn *ast.FuncDecl, acq *ast.AssignStmt, call *ast.CallExpr, obj types.Object) {
+	u := use{firstRel: token.NoPos}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isReleaseOf(pass, n.Call, obj) {
+				u.released, u.deferred = n.Pos(), true
+				return false
+			}
+		case *ast.CallExpr:
+			if isReleaseOf(pass, n, obj) {
+				u.released = n.Pos()
+				if u.firstRel == token.NoPos || n.Pos() < u.firstRel {
+					u.firstRel = n.Pos()
+				}
+				return true
+			}
+			// Passed as an argument: the callee takes over (conservative).
+			for _, arg := range n.Args {
+				if escapingRef(pass, arg, obj) {
+					u.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if escapingRef(pass, res, obj) {
+					u.escapes = true
+				}
+			}
+			u.returnsSeen = append(u.returnsSeen, n)
+		case *ast.AssignStmt:
+			if n == acq {
+				return true
+			}
+			// v copied or stored somewhere else: escapes.
+			for _, rhs := range n.Rhs {
+				if escapingRef(pass, rhs, obj) {
+					u.escapes = true
+				}
+			}
+		}
+		return true
+	})
+
+	if u.escapes {
+		return
+	}
+	if u.released == token.NoPos {
+		if !pass.Allowed(Directive, acq) {
+			pass.Reportf(call.Pos(), "%s acquired here is never released: call %s.Release() on every path or annotate //finemoe:%s <reason>",
+				types.ExprString(call.Fun), obj.Name(), Directive)
+		}
+		return
+	}
+	if u.deferred {
+		return
+	}
+	// A plain Release doesn't cover earlier returns: flag any return
+	// between the acquisition and the first Release.
+	for _, ret := range u.returnsSeen {
+		if ret.Pos() > acq.Pos() && ret.Pos() < u.firstRel {
+			if !pass.Allowed(Directive, ret) {
+				pass.Reportf(ret.Pos(), "return leaks %s acquired at line %d: Release it before returning, defer it, or annotate //finemoe:%s <reason>",
+					obj.Name(), pass.Fset.Position(acq.Pos()).Line, Directive)
+			}
+		}
+	}
+}
+
+func isReleaseOf(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// escapingRef reports whether the expression hands the tracked pointer
+// itself somewhere — as opposed to merely reading through it: q.field and
+// q.Method() access the resource without copying the pointer out, so they
+// neither release nor excuse it.
+func escapingRef(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	escape := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if escape {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// q.field / q.Method: descend only past the selector base when
+			// the base is not the tracked ident itself.
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				return false
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.ObjectOf(n) == obj {
+				escape = true
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(e, walk)
+	return escape
+}

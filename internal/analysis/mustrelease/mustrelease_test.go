@@ -1,0 +1,12 @@
+package mustrelease_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/mustrelease"
+)
+
+func TestMustrelease(t *testing.T) {
+	analysistest.Run(t, "../testdata", mustrelease.Analyzer, "internal/core", "releuser")
+}

@@ -1,0 +1,98 @@
+// Package noclock bans wall-clock and ambient-randomness APIs outside the
+// explicitly allowlisted packages. Simulated time must come from the
+// event-loop clock and randomness from internal/rng (a seeded,
+// version-stable stream); a single stray time.Now() in a result path is
+// exactly the kind of flaky-golden bug this repo's 29 parity fixtures
+// cannot tolerate.
+//
+// Unlike detrange, noclock applies to every package in the module — the
+// exempt list, not a scope list, is the contract: internal/walltime is the
+// one sanctioned wall-clock wrapper (benchmark harnesses time themselves
+// through it) and internal/httpserve fronts a live HTTP server where
+// wall-clock deadlines are legitimate.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is the escape-hatch vocabulary entry noclock honors.
+const Directive = "nondeterministic-ok"
+
+// Exempt lists packages (trailing-segment match) where wall-clock use is
+// sanctioned.
+var Exempt = []string{
+	"internal/httpserve",
+	"internal/walltime",
+}
+
+// bannedTime is the set of time package functions that read or wait on
+// the wall clock.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// bannedImports are packages whose ambient generators bypass the seeded
+// internal/rng stream.
+var bannedImports = map[string]string{
+	"math/rand":    "use the seeded stream in internal/rng",
+	"math/rand/v2": "use the seeded stream in internal/rng",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "bans wall-clock reads and global math/rand outside allowlisted packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PathMatches(pass.Pkg.Path(), Exempt) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, ok := bannedImports[path]; ok && !pass.Allowed(Directive, imp) {
+				pass.Reportf(imp.Pos(), "import of %s is banned in simulator code: %s", path, hint)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if !bannedTime[sel.Sel.Name] {
+				return true
+			}
+			if pass.Allowed(Directive, sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock: simulator time must come from the event-loop clock (or internal/walltime in harness code)", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

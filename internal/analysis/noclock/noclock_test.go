@@ -1,0 +1,13 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/noclock"
+)
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, "../testdata", noclock.Analyzer,
+		"clockuser", "internal/httpserve", "internal/walltime")
+}

@@ -1,0 +1,25 @@
+// Fixture for the noclock analyzer: an ordinary (non-exempt) package where
+// every wall-clock read and ambient-randomness import is flagged.
+package clockuser
+
+import (
+	"math/rand" // want "import of math/rand is banned"
+	"time"
+)
+
+func nanos() int64 { return time.Now().UnixNano() } // want "time.Now reads the wall clock"
+
+func wait() { time.Sleep(time.Millisecond) } // want "time.Sleep reads the wall clock"
+
+func since(t0 time.Time) time.Duration { return time.Since(t0) } // want "time.Since reads the wall clock"
+
+func roll() int { return rand.Intn(6) }
+
+// Durations and time.Time values themselves are fine: only the clock reads
+// are banned.
+func double(d time.Duration) time.Duration { return 2 * d }
+
+func allowed() {
+	//finemoe:nondeterministic-ok fixture: harness-side delay outside any measured path
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,28 @@
+// Fixture package standing in for finemoe/internal/core: the trailing
+// segment internal/core puts its Release-bearing pointer types inside
+// mustrelease's owner set.
+package core
+
+// Query mirrors the pooled search query.
+type Query struct{ used bool }
+
+// Used reports whether the query was ever populated.
+func (q *Query) Used() bool { return q.used }
+
+// Release returns the query to its pool.
+func (q *Query) Release() {}
+
+// Cursor mirrors the pooled streaming cursor.
+type Cursor struct{}
+
+// Release returns the cursor to its pool.
+func (c *Cursor) Release() {}
+
+// Searcher hands out pooled queries and cursors.
+type Searcher struct{}
+
+// Prepare returns a pooled query the caller must Release.
+func (s *Searcher) Prepare() *Query { return &Query{} }
+
+// NewCursorQ returns a pooled cursor the caller must Release.
+func (s *Searcher) NewCursorQ(q *Query) *Cursor { return &Cursor{} }

@@ -1,0 +1,7 @@
+// Fixture proving noclock's exempt list: internal/httpserve fronts a live
+// server, so wall-clock reads here carry no diagnostics.
+package httpserve
+
+import "time"
+
+func Deadline() time.Time { return time.Now().Add(5 * time.Second) }

@@ -1,0 +1,137 @@
+// Fixture for the detrange analyzer. The import path internal/metrics
+// puts this package inside detrange's simulator scope.
+package metrics
+
+import "sort"
+
+func plainRange(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "nondeterministic iteration order"
+		out = append(out, v*2)
+	}
+	return out
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative: integer accumulation
+		total += v
+	}
+	return total
+}
+
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "nondeterministic iteration order"
+		total += v
+	}
+	return total
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func maxVal(m map[string]float64) float64 {
+	best := -1.0
+	for _, v := range m { // commutative: running extremum
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // commutative: collect, then sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "nondeterministic iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedVals(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // commutative: collect, then sort below
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func copyInto(dst, src map[string]int) {
+	for k, v := range src { // commutative: per-key writes
+		dst[k] = v
+	}
+}
+
+func scale(m map[string]float64, f float64) {
+	for k := range m { // commutative: per-key update
+		m[k] *= f
+	}
+}
+
+func prune(m map[int]bool, keep map[int]bool) {
+	for id := range m { // commutative: guarded per-key delete
+		if !keep[id] {
+			delete(m, id)
+		}
+	}
+}
+
+type meta struct{ Pinned bool }
+
+func unpinAll(m map[string]*meta) {
+	for _, mm := range m { // commutative: constant field store per entry
+		mm.Pinned = false
+	}
+}
+
+func firstN(m map[string]int) int {
+	picked := 0
+	for range m { // want "nondeterministic iteration order"
+		if picked < 3 {
+			picked++
+		}
+	}
+	return picked
+}
+
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	//finemoe:nondeterministic-ok fixture: tolerance asserted by the caller
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotatedTrailing(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { //finemoe:nondeterministic-ok fixture: tolerance asserted by the caller
+		total += v
+	}
+	return total
+}
+
+func annotatedNoReason(m map[string]float64) float64 {
+	total := 0.0
+	/* want "requires a reason" */ //finemoe:nondeterministic-ok
+	for _, v := range m {          // want "nondeterministic iteration order"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Fixture for the unitmix analyzer. The import path internal/policy puts
+// this package inside unitmix's simulator scope.
+package policy
+
+func mixes(latencyMS, sizeBytes, windowSec float64) float64 {
+	total := latencyMS + sizeBytes // want "mixes units ms and bytes"
+	if latencyMS > windowSec {     // want "mixes units ms and s"
+		total++
+	}
+	return total
+}
+
+func assigns(latencyMS, sizeBytes float64) float64 {
+	latencyMS = sizeBytes // want "assignment mixes units ms and bytes"
+	return latencyMS
+}
+
+func compares(quotaGB, usedBytes float64) bool {
+	return usedBytes > quotaGB // want "mixes units bytes and GB"
+}
+
+func fine(aMS, bMS, budgetGBps, txBytes float64) float64 {
+	sum := aMS + bMS             // same unit: ok
+	xfer := txBytes / budgetGBps // division derives a new unit: ok
+	return sum + xfer            // derived values carry no suffix: ok
+}
+
+// A capital letter before the suffix means it is part of an acronym, not a
+// unit: widthRMS carries no unit.
+func acronym(widthRMS, sizeBytes float64) float64 {
+	return widthRMS + sizeBytes
+}
+
+func annotated(latencyMS, sizeBytes float64) float64 {
+	//finemoe:unit-ok fixture: deliberately composite score
+	return latencyMS + sizeBytes
+}

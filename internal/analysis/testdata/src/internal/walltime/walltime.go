@@ -1,0 +1,7 @@
+// Fixture proving noclock's exempt list: internal/walltime is the one
+// sanctioned wall-clock wrapper.
+package walltime
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

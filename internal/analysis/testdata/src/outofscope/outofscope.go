@@ -1,0 +1,11 @@
+// Fixture proving detrange's scope list: this package is outside the
+// simulator packages, so even an order-dependent map range is not flagged.
+package outofscope
+
+func anything(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // out of scope: no diagnostic
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+// Fixture for the mustrelease analyzer: consumes the toy pooled resources
+// from the internal/core fixture package.
+package releuser
+
+import "internal/core"
+
+func discard(s *core.Searcher) {
+	s.Prepare() // want "discarded without Release"
+}
+
+func discardBlank(s *core.Searcher) {
+	_ = s.Prepare() // want "assigned to _ without Release"
+}
+
+func leak(s *core.Searcher) bool {
+	q := s.Prepare() // want "never released"
+	return q.Used()
+}
+
+func released(s *core.Searcher) bool {
+	q := s.Prepare()
+	u := q.Used()
+	q.Release()
+	return u
+}
+
+func deferred(s *core.Searcher) bool {
+	q := s.Prepare()
+	defer q.Release()
+	return q.Used()
+}
+
+func earlyReturn(s *core.Searcher, cond bool) bool {
+	q := s.Prepare()
+	if cond {
+		return false // want "return leaks q"
+	}
+	q.Release()
+	return true
+}
+
+// Ownership transfers to the caller.
+func transfer(s *core.Searcher) *core.Query {
+	return s.Prepare()
+}
+
+type holder struct{ q *core.Query }
+
+// Escapes into longer-lived state whose owner releases it.
+func stored(s *core.Searcher, h *holder) {
+	h.q = s.Prepare()
+}
+
+// Handing the query to another function passes ownership along.
+func handedOff(s *core.Searcher) *core.Cursor {
+	q := s.Prepare()
+	return s.NewCursorQ(q)
+}
+
+// A fluent chain that ends in Release acquires nothing at statement level.
+func chained(s *core.Searcher, q *core.Query) {
+	s.NewCursorQ(q).Release()
+}
+
+func annotated(s *core.Searcher) bool {
+	//finemoe:release-ok fixture: the pool is torn down wholesale after this
+	q := s.Prepare()
+	return q.Used()
+}

@@ -1,0 +1,173 @@
+// Package unitmix flags additive arithmetic, comparisons, and assignments
+// that mix identifiers carrying conflicting unit suffixes — the classic
+// simulator timing-model bug (adding a milliseconds latency to a bytes
+// counter, comparing a GB budget against a bytes watermark). The repo's
+// naming convention makes units machine-checkable: quantities end in MS,
+// Sec, Bytes, GB/MB/KB, GBps/MBps or Tokens. Multiplication and division
+// are exempt (they legitimately derive new units: bytes / GBps = time);
+// only unit-preserving operators are checked. Scale mixes within one
+// dimension (GB vs Bytes, MS vs Sec) are deliberately conflicts — those
+// are exactly the silent ×1e9 bugs this analyzer exists for.
+//
+// Intentional mixes carry a //finemoe:unit-ok <reason> directive.
+package unitmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is the escape-hatch vocabulary entry unitmix honors.
+const Directive = "unit-ok"
+
+// Scope limits the analyzer to the simulator packages.
+var Scope = analysis.SimPackages
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unitmix",
+	Doc:  "flags arithmetic and comparisons mixing conflicting unit suffixes",
+	Run:  run,
+}
+
+// suffixUnits maps identifier suffixes to unit classes, longest suffix
+// first so GBps wins over GB.
+var suffixUnits = []struct{ suffix, unit string }{
+	{"GBps", "GB/s"},
+	{"MBps", "MB/s"},
+	{"Bytes", "bytes"},
+	{"Tokens", "tokens"},
+	{"Secs", "s"},
+	{"Sec", "s"},
+	{"MS", "ms"},
+	{"GB", "GB"},
+	{"MB", "MB"},
+	{"KB", "KB"},
+}
+
+// exactUnits classifies whole (lowercase) identifier names.
+var exactUnits = map[string]string{
+	"ms":     "ms",
+	"sec":    "s",
+	"secs":   "s",
+	"bytes":  "bytes",
+	"tokens": "tokens",
+}
+
+// unitOfName extracts a unit class from an identifier name, or "".
+func unitOfName(name string) string {
+	if u, ok := exactUnits[name]; ok {
+		return u
+	}
+	for _, su := range suffixUnits {
+		if !strings.HasSuffix(name, su.suffix) || len(name) == len(su.suffix) {
+			continue
+		}
+		// The rune before the suffix must be lowercase or a digit, so
+		// RMS, TTFT etc. don't read as units.
+		r := rune(name[len(name)-len(su.suffix)-1])
+		if unicode.IsLower(r) || unicode.IsDigit(r) {
+			return su.unit
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return // *, / and friends derive units legitimately
+	}
+	ux, uy := unitOf(e.X), unitOf(e.Y)
+	if ux == "" || uy == "" || ux == uy {
+		return
+	}
+	if pass.Allowed(Directive, e) {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s mixes units %s and %s (%s %s %s); convert one side or annotate //finemoe:%s <reason>",
+		opVerb(e.Op), ux, uy, types.ExprString(e.X), e.Op, types.ExprString(e.Y), Directive)
+}
+
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		ul, ur := unitOf(lhs), unitOf(s.Rhs[i])
+		if ul == "" || ur == "" || ul == ur {
+			continue
+		}
+		if pass.Allowed(Directive, s) {
+			continue
+		}
+		pass.Reportf(s.Pos(), "assignment mixes units %s and %s (%s %s %s); convert or annotate //finemoe:%s <reason>",
+			ul, ur, types.ExprString(lhs), s.Tok, types.ExprString(s.Rhs[i]), Directive)
+	}
+}
+
+// unitOf derives the unit class of an expression from identifier naming:
+// unknown ("") for literals, calls and derived (*, /) expressions.
+func unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOf(e.X) // latenciesMS[i] is still milliseconds
+	case *ast.ParenExpr:
+		return unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		// Additive chains preserve a common unit; anything else derives.
+		if e.Op == token.ADD || e.Op == token.SUB {
+			ux, uy := unitOf(e.X), unitOf(e.Y)
+			if ux == uy {
+				return ux
+			}
+		}
+	}
+	return ""
+}
+
+func opVerb(op token.Token) string {
+	switch op {
+	case token.ADD, token.SUB:
+		return "arithmetic"
+	default:
+		return "comparison"
+	}
+}

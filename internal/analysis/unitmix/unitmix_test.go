@@ -1,0 +1,12 @@
+package unitmix_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/unitmix"
+)
+
+func TestUnitmix(t *testing.T) {
+	analysistest.Run(t, "../testdata", unitmix.Analyzer, "internal/policy")
+}

@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"finemoe/internal/moe"
 )
@@ -209,6 +210,7 @@ func (c *Cache) pickVictim(now float64) (moe.ExpertRef, bool) {
 	var best moe.ExpertRef
 	bestScore := 0.0
 	found := false
+	//finemoe:nondeterministic-ok argmax with a total (layer,expert) tie-break via less(), so the winner is independent of iteration order
 	for ref, m := range c.entries {
 		if m.Pinned {
 			continue
@@ -225,6 +227,7 @@ func (c *Cache) pickVictimIncludingPinned(now float64) (moe.ExpertRef, bool) {
 	var best moe.ExpertRef
 	bestScore := 0.0
 	found := false
+	//finemoe:nondeterministic-ok argmax with a total (layer,expert) tie-break via less(), so the winner is independent of iteration order
 	for ref, m := range c.entries {
 		s := c.scorer.Score(ref, *m, now)
 		if !found || s > bestScore || (s == bestScore && less(ref, best)) {
@@ -267,13 +270,15 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
-// Residents returns all resident experts (order unspecified). Intended for
-// tests and debugging.
+// Residents returns all resident experts in (layer, expert) order, so the
+// listing is stable regardless of map iteration. Intended for tests and
+// debugging.
 func (c *Cache) Residents() []moe.ExpertRef {
 	out := make([]moe.ExpertRef, 0, len(c.entries))
 	for ref := range c.entries {
 		out = append(out, ref)
 	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
 }
 

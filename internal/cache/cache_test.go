@@ -237,3 +237,26 @@ func TestScorerNames(t *testing.T) {
 		t.Fatal("scorer names wrong")
 	}
 }
+
+func TestResidentsSortedOrder(t *testing.T) {
+	c := New(8, LRU{})
+	// Insert in deliberately scrambled (layer, expert) order; Residents
+	// must come back sorted regardless of map iteration order, so repeat
+	// the call to catch any order that merely happened to look sorted.
+	scrambled := []moe.ExpertRef{ref(3, 1), ref(0, 2), ref(1, 0), ref(3, 0), ref(0, 0), ref(2, 5)}
+	for i, r := range scrambled {
+		c.Insert(r, float64(i))
+	}
+	want := []moe.ExpertRef{ref(0, 0), ref(0, 2), ref(1, 0), ref(2, 5), ref(3, 0), ref(3, 1)}
+	for trial := 0; trial < 10; trial++ {
+		got := c.Residents()
+		if len(got) != len(want) {
+			t.Fatalf("residents %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: residents[%d] = %v, want %v (must be (layer, expert)-sorted)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

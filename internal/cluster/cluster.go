@@ -227,6 +227,8 @@ func New(opts Options) *Cluster {
 // evtLess orders heap entries by (cached event time asc, instance index
 // asc) — the same total order the linear scan's `<` induced, so ties still
 // resolve toward the lowest instance index.
+//
+//finemoe:hotpath
 func (c *Cluster) evtLess(a, b int32) bool {
 	ta, tb := c.evtTimes[a], c.evtTimes[b]
 	if ta != tb {
@@ -235,12 +237,14 @@ func (c *Cluster) evtLess(a, b int32) bool {
 	return a < b
 }
 
+//finemoe:hotpath
 func (c *Cluster) evtSwap(i, j int) {
 	c.evtHeap[i], c.evtHeap[j] = c.evtHeap[j], c.evtHeap[i]
 	c.evtPos[c.evtHeap[i]] = int32(i)
 	c.evtPos[c.evtHeap[j]] = int32(j)
 }
 
+//finemoe:hotpath
 func (c *Cluster) evtUp(pos int) {
 	for pos > 0 {
 		parent := (pos - 1) / 2
@@ -252,6 +256,7 @@ func (c *Cluster) evtUp(pos int) {
 	}
 }
 
+//finemoe:hotpath
 func (c *Cluster) evtDown(pos int) {
 	n := len(c.evtHeap)
 	for {
@@ -282,6 +287,8 @@ func (c *Cluster) evtPush(idx int) {
 
 // refreshEvent re-reads instance idx's next event time and restores heap
 // order. Call after any operation that can change it (Submit, Step).
+//
+//finemoe:hotpath
 func (c *Cluster) refreshEvent(idx int) {
 	t := c.instances[idx].Engine.NextEventTime()
 	if t == c.evtTimes[idx] {
@@ -492,6 +499,8 @@ func (c *Cluster) autoscale(nowMS float64) {
 // instance index (lowest index wins ties); +Inf when all are drained. The
 // answer comes from the cached next-event heap — O(1) instead of the
 // O(instances) scan the seed paid per shared-clock event.
+//
+//finemoe:hotpath
 func (c *Cluster) nextInstanceEvent() (float64, int) {
 	if len(c.evtHeap) == 0 {
 		return math.Inf(1), -1

@@ -120,6 +120,8 @@ func newSemIndex(dim, capacity int) *semIndex {
 }
 
 // sem returns slot's embedding view into the arena.
+//
+//finemoe:hotpath
 func (ix *semIndex) sem(slot int32) []float32 {
 	return ix.sems[int(slot)*ix.dim : (int(slot)+1)*ix.dim]
 }
@@ -174,6 +176,8 @@ func (ix *semIndex) remove(slot int) {
 // k insertions and re-seeds buckets drained by evictions), otherwise the
 // centroid with the highest cosine similarity (ties toward the lower id,
 // for determinism).
+//
+//finemoe:hotpath
 func (ix *semIndex) chooseCluster(slot int) int {
 	best, bestSim := -1, math.Inf(-1)
 	s := ix.sem(int32(slot))
@@ -191,6 +195,8 @@ func (ix *semIndex) chooseCluster(slot int) int {
 // centroidSimF32 scores cluster c's centroid against a stored embedding.
 // The centroid is sums[c]/counts[c]; the count cancels out of the cosine,
 // so the un-normalized sum is used directly.
+//
+//finemoe:hotpath
 func (ix *semIndex) centroidSimF32(c int, s []float32) float64 {
 	var dot, n2 float64
 	sum := ix.sums[c]
@@ -206,6 +212,8 @@ func (ix *semIndex) centroidSimF32(c int, s []float32) float64 {
 
 // centroidSim scores cluster c's centroid against a float64 query (probe
 // ordering).
+//
+//finemoe:hotpath
 func (ix *semIndex) centroidSim(c int, q []float64) float64 {
 	var dot, n2 float64
 	sum := ix.sums[c]
@@ -233,6 +241,8 @@ func (ix *semIndex) active() int {
 // probeOrder fills the scratch probe list with the non-empty clusters
 // ranked by centroid similarity to the query (ties toward the lower id)
 // and returns the ranked ids truncated to nprobe.
+//
+//finemoe:hotpath
 func (ix *semIndex) probeOrder(sc *scanScratch, q []float64, nprobe int) []int32 {
 	ids := sc.ids[:0]
 	sims := sc.sims[:0]
@@ -260,6 +270,8 @@ func (ix *semIndex) probeOrder(sc *scanScratch, q []float64, nprobe int) []int32
 // brute-force arithmetic: float64(float32) products accumulated in strict
 // element order, combined with the cached norms — bit-identical to
 // tensor.CosineF32 on the same vectors.
+//
+//finemoe:hotpath
 func (ix *semIndex) exactScore(q *Query, slot int32) float64 {
 	s := ix.sem(slot)
 	q64 := q.sem64[:len(s)]
@@ -276,6 +288,8 @@ func (ix *semIndex) exactScore(q *Query, slot int32) float64 {
 // the query norm is a shared positive factor), so the fast phase never
 // pays the per-candidate sqrt a cosine would. Zero-norm embeddings key to
 // 0, matching CosineF32's zero-norm convention.
+//
+//finemoe:hotpath
 func (ix *semIndex) fastKey(dot float32, slot int32) float64 {
 	d := float64(dot)
 	key := d * d * ix.invNorm2[slot]
@@ -294,6 +308,8 @@ func keyEps(qn2 float64) float64 { return 2 * qn2 * scanEps }
 // candidates within eps (key space) of the running best are retained for
 // exact re-scoring; a new best lazily invalidates stale entries (filtered
 // in resolve).
+//
+//finemoe:hotpath
 func (ix *semIndex) keepNear(sc *scanScratch, slot int32, key, best, eps float64) float64 {
 	if key >= best-eps {
 		sc.near = append(sc.near, slotScore{slot, key})
@@ -307,6 +323,8 @@ func (ix *semIndex) keepNear(sc *scanScratch, slot int32, key, best, eps float64
 // resolve exact-rescores the retained near-best candidates and returns
 // the winner under (score desc, slot asc). Returns slot -1 when the fast
 // phase retained nothing (empty probe set).
+//
+//finemoe:hotpath
 func (ix *semIndex) resolve(sc *scanScratch, q *Query, best, eps float64) (int32, float64) {
 	bestSlot, bestScore := int32(-1), math.Inf(-1)
 	for _, c := range sc.near {
@@ -326,6 +344,8 @@ func (ix *semIndex) resolve(sc *scanScratch, q *Query, best, eps float64) (int32
 // accumulator chain each; the sweep streams the arena sequentially, which
 // the hardware prefetcher follows. Returns the running fast best after
 // folding every candidate into the near-best scratch.
+//
+//finemoe:hotpath
 func (ix *semIndex) scanAllFast(sc *scanScratch, q *Query, n int, best float64) float64 {
 	dim := ix.dim
 	qf := q.semF[:dim]
@@ -346,6 +366,8 @@ func (ix *semIndex) scanAllFast(sc *scanScratch, q *Query, n int, best float64) 
 }
 
 // scanBucketFast runs the fast phase over one bucket's (scattered) slots.
+//
+//finemoe:hotpath
 func (ix *semIndex) scanBucketFast(sc *scanScratch, q *Query, b []int32, best float64) float64 {
 	dim := ix.dim
 	qf := q.semF[:dim]
@@ -362,6 +384,8 @@ func (ix *semIndex) scanBucketFast(sc *scanScratch, q *Query, b []int32, best fl
 // (nprobe <= 0, or nprobe covering every active cluster) scans the n live
 // slots via the sequential arena sweep and returns byte-identical results
 // to the seed's linear scan. Returns slot -1 on an empty index.
+//
+//finemoe:hotpath
 func (ix *semIndex) search(q *Query, nprobe, n int) (int32, float64) {
 	sc := scanScratchPool.Get().(*scanScratch)
 	sc.near = sc.near[:0]

@@ -76,6 +76,8 @@ var queryPool = sync.Pool{New: func() any { return new(Query) }}
 
 // Prepare converts a semantic embedding into a pooled Query. The Query
 // borrows sem (no copy); it is valid until Release.
+//
+//finemoe:hotpath
 func (s *Searcher) Prepare(sem []float64) *Query {
 	q := queryPool.Get().(*Query)
 	if cap(q.semF) < len(sem) {
@@ -116,6 +118,8 @@ func (s *Searcher) SemanticSearch(sem []float64) (SearchResult, bool) {
 
 // SemanticSearchQ runs the semantic search for a prepared query through
 // the store's clustered index.
+//
+//finemoe:hotpath
 func (s *Searcher) SemanticSearchQ(q *Query) (SearchResult, bool) {
 	return s.store.semSearch(q, s.nprobe)
 }
@@ -221,6 +225,8 @@ func (s *Searcher) NewCursor(sem []float64) *Cursor {
 // candidate set is the semantic top-N prefilter when configured (selected
 // through the clustered index), otherwise the full store via a zero-copy
 // snapshot. Returns nil if the store is empty.
+//
+//finemoe:hotpath
 func (s *Searcher) NewCursorQ(q *Query) *Cursor {
 	c := cursorPool.Get().(*Cursor)
 	c.selfNorm, c.layers = 0, 0
@@ -269,6 +275,8 @@ func (c *Cursor) recycle() {
 }
 
 // Observe extends the prefix with the gate distribution of the next layer.
+//
+//finemoe:hotpath
 func (c *Cursor) Observe(probs []float64) {
 	if c == nil {
 		return
@@ -309,6 +317,8 @@ func (c *Cursor) Layers() int {
 
 // Best returns the most similar stored map over the observed prefix
 // (Eq. 5), or ok=false before any layer has been observed.
+//
+//finemoe:hotpath
 func (c *Cursor) Best() (SearchResult, bool) {
 	if c == nil || c.layers == 0 || c.selfNorm == 0 {
 		return SearchResult{}, false

@@ -55,6 +55,7 @@ func runAblCoverage(c *Context) (*Output, error) {
 						cur.Observe(it.Probs[l])
 					}
 					res, ok := cur.Best()
+					cur.Release()
 					if !ok {
 						continue
 					}

@@ -644,6 +644,8 @@ func (e *Engine) NextEventTime() float64 {
 // iteration. Iterations are atomic in virtual time, so the clock may
 // overshoot until; Step guarantees only that no new event *starts* after
 // until. Reports whether any work was done.
+//
+//finemoe:hotpath
 func (e *Engine) Step(until float64) bool {
 	if e.NextEventTime() > until {
 		return false

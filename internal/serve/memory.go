@@ -63,6 +63,8 @@ func warmHostTiers(tiers []*cache.HostTier, cfg moe.Config) {
 
 // hostLevel returns the topmost host tier holding ref (0 = DRAM). The
 // bottom tier is unbounded, so the scan always terminates with a hit.
+//
+//finemoe:hotpath
 func (e *Engine) hostLevel(ref moe.ExpertRef) int {
 	for i, t := range e.host {
 		if t.Contains(ref) {
@@ -78,6 +80,8 @@ func (e *Engine) hostLevel(ref moe.ExpertRef) int {
 // tier's evictions to their backing copies (free). Reports whether the
 // insert took (a strict tier saturated with pinned uploads refuses it;
 // the chain still proceeds through the transient bounce buffer).
+//
+//finemoe:hotpath
 func (e *Engine) hostInsert(level int, ref moe.ExpertRef, now float64) bool {
 	evicted, ok := e.host[level].Insert(ref, now)
 	e.tierDrops[level] += len(evicted)
@@ -85,6 +89,8 @@ func (e *Engine) hostInsert(level int, ref moe.ExpertRef, now float64) bool {
 }
 
 // demoteFromGPU drops a GPU-cache eviction into DRAM (host tier 0).
+//
+//finemoe:hotpath
 func (e *Engine) demoteFromGPU(ref moe.ExpertRef, now float64) {
 	evicted, _ := e.host[0].Demote(ref, now)
 	e.tierDrops[0] += len(evicted)
@@ -92,6 +98,8 @@ func (e *Engine) demoteFromGPU(ref moe.ExpertRef, now float64) {
 
 // gpuInsert makes ref GPU-resident, demoting the cache's evictions into
 // the host hierarchy.
+//
+//finemoe:hotpath
 func (e *Engine) gpuInsert(ref moe.ExpertRef, now float64) {
 	for _, ev := range e.caches.Insert(ref, now) {
 		e.demoteFromGPU(ev, now)
@@ -105,6 +113,8 @@ const memSpillAlpha = 1.0 / 32
 
 // noteMemFetch folds one fetch's routing depth into the spill EMA:
 // sample 1 when the expert had to come from below DRAM, 0 on a DRAM hit.
+//
+//finemoe:hotpath
 func (e *Engine) noteMemFetch(level int) {
 	sample := 0.0
 	if level > 0 {
@@ -118,6 +128,8 @@ func (e *Engine) noteMemFetch(level int) {
 // intermediate tier, then the owning GPU's PCIe link performs the final
 // upload (the seed's entire on-demand path when ref is already
 // DRAM-resident).
+//
+//finemoe:hotpath
 func (e *Engine) fetchOnDemand(ref moe.ExpertRef, now float64) float64 {
 	t := now
 	e.noteMemFetch(e.hostLevel(ref))
@@ -136,6 +148,8 @@ func (e *Engine) fetchOnDemand(ref moe.ExpertRef, now float64) float64 {
 
 // Tier implements policy.Runtime: the topmost tier where ref is
 // resident (0 = GPU HBM, 1 = DRAM, ...).
+//
+//finemoe:hotpath
 func (e *Engine) Tier(ref moe.ExpertRef) int {
 	if e.caches.Contains(ref) {
 		return 0
@@ -144,6 +158,8 @@ func (e *Engine) Tier(ref moe.ExpertRef) int {
 }
 
 // Promote implements policy.Runtime: stage ref one tier upward.
+//
+//finemoe:hotpath
 func (e *Engine) Promote(ref moe.ExpertRef, priority, issueTime float64) bool {
 	if e.caches.Contains(ref) {
 		return false
@@ -171,6 +187,8 @@ func (e *Engine) Promote(ref moe.ExpertRef, priority, issueTime float64) bool {
 // Demote implements policy.Runtime: drop ref's topmost resident copy
 // one tier down at time now. A GPU copy pinned by the executing layer
 // is in use and never dropped.
+//
+//finemoe:hotpath
 func (e *Engine) Demote(ref moe.ExpertRef, now float64) bool {
 	if e.caches.Contains(ref) {
 		if e.caches.Pinned(ref) {
