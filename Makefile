@@ -12,9 +12,10 @@ test-short:
 	$(GO) test -short ./...
 
 # The repo's determinism/hot-path contract checker (internal/analysis);
-# see the "Determinism contract" section of ARCHITECTURE.md.
+# see the "Determinism contract" section of ARCHITECTURE.md. -stats also
+# inventories every //finemoe: directive and fails on stale suppressions.
 lint:
-	$(GO) run ./cmd/finemoe-lint ./...
+	$(GO) run ./cmd/finemoe-lint -stats ./...
 
 # Same analyzers driven through cmd/go's vet cache (incremental re-runs).
 vet-lint:

@@ -1,20 +1,26 @@
 // finemoe-lint is the repo's determinism and hot-path contract checker: a
-// multichecker driver over the five analyzers in internal/analysis
-// (detrange, noclock, hotalloc, unitmix, mustrelease). It loads packages
+// multichecker driver over the analyzers in internal/analysis — the five
+// intraprocedural checks (detrange, noclock, hotalloc, unitmix,
+// mustrelease) and the four interprocedural, fact-carrying ones
+// (callalloc, sharedstate, floatorder, puritycheck). It loads packages
 // offline through the local build cache, so it runs anywhere `go build`
 // does:
 //
 //	go run ./cmd/finemoe-lint ./...
 //	go run ./cmd/finemoe-lint -only detrange,noclock ./internal/serve
+//	go run ./cmd/finemoe-lint -stats ./...   # directive inventory + stale suppressions
+//	go run ./cmd/finemoe-lint -json ./...    # machine-readable report
 //
 // Invoked as a vet tool (go vet -vettool=$(which finemoe-lint) ./...) it
-// speaks the cmd/go unitchecker protocol instead: responds to -V=full and
-// analyzes the single *.cfg package vet hands it.
+// speaks the cmd/go unitchecker protocol instead: responds to -V=full,
+// analyzes the single *.cfg package vet hands it, and propagates
+// cross-package facts through the .vetx files vet threads between units.
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 driver error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,25 +28,16 @@ import (
 
 	"finemoe/internal/analysis"
 	"finemoe/internal/analysis/checker"
-	"finemoe/internal/analysis/detrange"
-	"finemoe/internal/analysis/hotalloc"
-	"finemoe/internal/analysis/mustrelease"
-	"finemoe/internal/analysis/noclock"
-	"finemoe/internal/analysis/unitmix"
+	"finemoe/internal/analysis/suite"
 )
 
-var all = []*analysis.Analyzer{
-	detrange.Analyzer,
-	noclock.Analyzer,
-	hotalloc.Analyzer,
-	unitmix.Analyzer,
-	mustrelease.Analyzer,
-}
+var all = suite.All
 
 func main() {
 	versionFlag := flag.Bool("V", false, "")
-	flag.Bool("json", false, "accepted for vet compatibility (ignored)")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (findings, and with -stats the directive inventory)")
+	stats := flag.Bool("stats", false, "inventory every //finemoe: directive and flag stale suppressions (forces all analyzers)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all; ignored with -stats)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: finemoe-lint [-only a,b] [packages]\n\nanalyzers:\n")
@@ -72,7 +69,9 @@ func main() {
 	}
 
 	analyzers := all
-	if *only != "" {
+	// Staleness is judged against the full directive vocabulary: running a
+	// subset would mark the other analyzers' suppressions stale.
+	if *only != "" && !*stats {
 		byName := map[string]*analysis.Analyzer{}
 		for _, a := range all {
 			byName[a.Name] = a
@@ -98,12 +97,30 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	n, err := checker.Run(os.Stdout, ".", args, analyzers)
+	rep, err := checker.RunPackages(".", args, analyzers, *stats)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
 		os.Exit(2)
 	}
-	if n > 0 {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		if *stats {
+			fmt.Printf("%-24s %6s %6s\n", "directive", "count", "stale")
+			for _, c := range rep.Inventory {
+				fmt.Printf("%-24s %6d %6d\n", c.Name, c.Count, c.Stale)
+			}
+		}
+	}
+	if n := len(rep.Findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "finemoe-lint: %d problem(s)\n", n)
 		os.Exit(1)
 	}

@@ -30,15 +30,20 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // vetUnit analyzes the single package described by a vet cfg file and
-// returns the process exit code. The finemoe analyzers carry no
-// cross-package facts, so the facts (.vetx) output is just a placeholder
-// for cmd/go's cache.
+// returns the process exit code. Cross-package facts ride cmd/go's own
+// dependency machinery: each dependency's .vetx file (PackageVetx) is
+// decoded into the fact store before analysis, and the merged store —
+// inherited facts plus this package's exports — is written to VetxOutput
+// so indirect importers see the whole transitive fact set. VetxOnly
+// packages (dependencies vet loads only for their facts) are analyzed
+// with diagnostics suppressed: the facts must still be computed.
 func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -50,9 +55,23 @@ func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "finemoe-lint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	writeVetx(&cfg)
-	if cfg.VetxOnly {
-		return 0
+
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			analysis.RegisterFactType(f)
+		}
+	}
+	store := analysis.NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finemoe-lint: reading facts for %s: %v\n", path, err)
+			return 2
+		}
+		if err := store.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "finemoe-lint: facts for %s: %v\n", path, err)
+			return 2
+		}
 	}
 
 	// The standalone driver analyzes non-test files only; keep the vet
@@ -65,7 +84,7 @@ func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		}
 	}
 	if len(goFiles) == 0 {
-		return 0
+		return writeVetx(&cfg, store)
 	}
 
 	fset := token.NewFileSet()
@@ -100,7 +119,7 @@ func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(&cfg, store)
 		}
 		fmt.Fprintf(os.Stderr, "finemoe-lint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 2
@@ -114,10 +133,16 @@ func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		Types:      tpkg,
 		TypesInfo:  info,
 	}
-	diags, err := checker.Analyze(pkg, analyzers)
+	diags, err := checker.AnalyzeWith(pkg, analyzers, store, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
 		return 2
+	}
+	if code := writeVetx(&cfg, store); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
@@ -144,10 +169,20 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%s\n", name, id)
 }
 
-func writeVetx(cfg *vetConfig) {
+// writeVetx serializes the merged fact store (inherited + newly
+// exported) to the path cmd/go asked for, returning a process exit code.
+func writeVetx(cfg *vetConfig, store *analysis.FactStore) int {
 	if cfg.VetxOutput == "" {
-		return
+		return 0
 	}
-	// No cross-package facts: an empty file satisfies cmd/go's cache.
-	_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	data, err := store.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finemoe-lint: encoding facts for %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "finemoe-lint: %v\n", err)
+		return 2
+	}
+	return 0
 }

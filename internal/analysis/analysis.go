@@ -36,6 +36,14 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) (any, error)
+	// FactTypes lists prototype values of every fact type the analyzer
+	// exports or imports; drivers register them for serialization.
+	FactTypes []Fact
+	// Directives lists the //finemoe:<name> suppression vocabulary the
+	// analyzer honors — the names whose annotations it can mark used.
+	// The -stats staleness sweep flags any suppression directive no
+	// analyzer marked used.
+	Directives []string
 }
 
 // A Diagnostic is one finding, positioned inside Pass.Fset.
@@ -53,6 +61,15 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Facts is the cross-package fact store shared by the driver run;
+	// nil when the driver does not propagate facts.
+	Facts *FactStore
+
+	// Tracker records which //finemoe: directives exist and which ones
+	// actually suppressed something, so the -stats sweep can flag stale
+	// annotations. Nil disables tracking.
+	Tracker *DirectiveTracker
 
 	// directives caches the parsed //finemoe:* comments per file line.
 	directives map[*token.File]map[int][]directive
@@ -101,6 +118,7 @@ func (p *Pass) buildDirectives() {
 				d.pos = c.Pos()
 				line := p.Fset.Position(c.Pos()).Line
 				lines[line] = append(lines[line], d)
+				p.Tracker.see(p.Pkg.Path(), p.Fset.Position(c.Pos()), d.name, d.reason)
 			}
 		}
 		// Record every commented line so Allowed can climb through a
@@ -138,8 +156,10 @@ func (p *Pass) Allowed(name string, node ast.Node) bool {
 			}
 			if d.reason == "" {
 				p.Reportf(d.pos, "%s%s requires a reason", DirectivePrefix, name)
+				p.Tracker.use(p.Fset.Position(d.pos))
 				return false, true
 			}
+			p.Tracker.use(p.Fset.Position(d.pos))
 			return true, true
 		}
 		return false, false
@@ -157,6 +177,143 @@ func (p *Pass) Allowed(name string, node ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// DirectiveOn looks up a //finemoe:<name> directive covering node (same
+// line or the contiguous comment block above, like Allowed) WITHOUT
+// marking it used: analyzers that read declaration-level annotations
+// (callalloc's allocok functions) peek first and call MarkUsed only once
+// the annotation demonstrably suppresses something, so annotations that
+// no longer do any work surface as stale in -stats. An empty reason is
+// reported immediately, as with Allowed.
+func (p *Pass) DirectiveOn(name string, node ast.Node) (reason string, pos token.Pos, found bool) {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	tf := p.Fset.File(node.Pos())
+	lines, ok := p.directives[tf]
+	if !ok {
+		return "", token.NoPos, false
+	}
+	check := func(line int) (directive, bool) {
+		for _, d := range lines[line] {
+			if d.name == name {
+				return d, true
+			}
+		}
+		return directive{}, false
+	}
+	start := p.Fset.Position(node.Pos()).Line
+	d, ok := check(start)
+	for line := start - 1; !ok && line > 0; line-- {
+		if _, commented := lines[line]; !commented {
+			break
+		}
+		d, ok = check(line)
+	}
+	if !ok {
+		return "", token.NoPos, false
+	}
+	if d.reason == "" {
+		p.Reportf(d.pos, "%s%s requires a reason", DirectivePrefix, name)
+		p.Tracker.use(p.Fset.Position(d.pos))
+		return "", d.pos, false
+	}
+	return d.reason, d.pos, true
+}
+
+// MarkUsed records that the directive at pos did real suppression work
+// this run (pairs with DirectiveOn).
+func (p *Pass) MarkUsed(pos token.Pos) {
+	p.Tracker.use(p.Fset.Position(pos))
+}
+
+// Markers are directive names that declare a property rather than
+// suppress a diagnostic (//finemoe:hotpath marks a function as a
+// zero-allocation root); they are never stale.
+var Markers = map[string]bool{"hotpath": true}
+
+// A DirectiveInfo describes one //finemoe: annotation found in source.
+type DirectiveInfo struct {
+	Pkg      string
+	File     string
+	Line     int
+	Col      int
+	Name     string
+	Reason   string
+	Used     bool
+	Position token.Position
+}
+
+// A DirectiveTracker aggregates every directive seen across a driver
+// run. All methods are nil-safe so passes can run without tracking.
+type DirectiveTracker struct {
+	byPos map[token.Position]*DirectiveInfo
+}
+
+// NewDirectiveTracker returns an empty tracker.
+func NewDirectiveTracker() *DirectiveTracker {
+	return &DirectiveTracker{byPos: map[token.Position]*DirectiveInfo{}}
+}
+
+func (t *DirectiveTracker) see(pkg string, pos token.Position, name, reason string) {
+	if t == nil {
+		return
+	}
+	if _, ok := t.byPos[pos]; ok {
+		return
+	}
+	t.byPos[pos] = &DirectiveInfo{
+		Pkg: pkg, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+		Name: name, Reason: reason, Used: Markers[name], Position: pos,
+	}
+}
+
+func (t *DirectiveTracker) use(pos token.Position) {
+	if t == nil {
+		return
+	}
+	if d, ok := t.byPos[pos]; ok {
+		d.Used = true
+	}
+}
+
+// All returns every directive seen, sorted by file, line, column.
+func (t *DirectiveTracker) All() []DirectiveInfo {
+	if t == nil {
+		return nil
+	}
+	out := make([]DirectiveInfo, 0, len(t.byPos))
+	for _, d := range t.byPos {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// Stale returns the suppression directives that no analyzer marked used
+// this run — annotations whose diagnostic no longer fires — plus any
+// directive whose name is outside the known vocabulary. vocab is the
+// union of every loaded analyzer's Directives.
+func (t *DirectiveTracker) Stale(vocab map[string]bool) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, d := range t.All() {
+		if Markers[d.Name] {
+			continue
+		}
+		if !vocab[d.Name] || !d.Used {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // PathMatches reports whether the import path matches any entry by whole

@@ -1,13 +1,22 @@
-// Package analysistest runs an analyzer over fixture packages under a
-// testdata/src tree and checks its diagnostics against `// want "regexp"`
+// Package analysistest runs analyzers over fixture packages under a
+// testdata/src tree and checks their diagnostics against `// want "regexp"`
 // comments, mirroring golang.org/x/tools/go/analysis/analysistest (which
 // this hermetic build cannot depend on). A fixture package's directory
 // path below testdata/src becomes its import path, so short paths like
 // internal/core or internal/httpserve exercise the analyzers' scope and
-// exempt lists for real. Fixture imports resolve to sibling fixture
-// packages first, then to the standard library through build-cache export
-// data (`go list -export`), so fixtures can import time, sort or a toy
-// internal/core without network access.
+// exempt lists for real, and paths under finemoe/ land inside the module
+// for the fact-carrying interprocedural analyzers. Fixture imports
+// resolve to sibling fixture packages first, then to the standard
+// library through build-cache export data (`go list -export`), so
+// fixtures can import time, sort or a toy internal/core without network
+// access.
+//
+// Every run analyzes the requested packages AND their fixture-local
+// dependencies, in dependency order, with one shared fact store — the
+// same discipline the standalone driver and the vet unitchecker follow —
+// so a fixture package a importing a fixture package b observes b's
+// exported object facts. Want comments are only checked in the packages
+// named by the call; dependencies are analyzed for their facts.
 package analysistest
 
 import (
@@ -36,6 +45,35 @@ import (
 // comments.
 func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	run(t, testdataDir, []*analysis.Analyzer{a}, false, pkgPaths)
+}
+
+// RunAnalyzers is the multi-analyzer form of Run: the analyzers share
+// one pass order and one fact store, as under the real drivers.
+func RunAnalyzers(t *testing.T, testdataDir string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdataDir, analyzers, false, pkgPaths)
+}
+
+// RunStale additionally runs the -stats staleness sweep after the
+// analyzers finish: suppression directives no analyzer marked used, and
+// directives outside the analyzers' vocabulary, become stale-directive
+// findings matched against want comments like any other diagnostic.
+func RunStale(t *testing.T, testdataDir string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdataDir, analyzers, true, pkgPaths)
+}
+
+// finding is one diagnostic flattened for want matching.
+type finding struct {
+	file     string
+	line     int
+	analyzer string
+	message  string
+}
+
+func run(t *testing.T, testdataDir string, analyzers []*analysis.Analyzer, stale bool, pkgPaths []string) {
+	t.Helper()
 	ld := &loader{
 		srcDir: filepath.Join(testdataDir, "src"),
 		fset:   token.NewFileSet(),
@@ -43,12 +81,48 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...str
 		std:    map[string]string{},
 	}
 	ld.imp = importer.ForCompiler(ld.fset, "gc", ld.lookupStd)
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			analysis.RegisterFactType(f)
+		}
+	}
 	for _, path := range pkgPaths {
-		pkg, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		check(t, a, pkg)
+	}
+
+	// Analyze every loaded package — dependencies included — in
+	// dependency order over a shared store, so facts flow exactly as they
+	// do under the standalone driver and the vet unitchecker.
+	store := analysis.NewFactStore()
+	tracker := analysis.NewDirectiveTracker()
+	found := map[string][]finding{}
+	for _, pkg := range ld.order {
+		diags, err := checker.AnalyzeWith(&analysis.Package{
+			ImportPath: pkg.path,
+			Fset:       pkg.fset,
+			Files:      pkg.files,
+			Types:      pkg.types,
+			TypesInfo:  pkg.info,
+		}, analyzers, store, tracker)
+		if err != nil {
+			t.Fatalf("analyzing fixture %s: %v", pkg.path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.fset.Position(d.Pos)
+			found[pkg.path] = append(found[pkg.path], finding{pos.Filename, pos.Line, d.Analyzer, d.Message})
+		}
+	}
+	if stale {
+		vocab := checker.Vocab(analyzers)
+		for _, d := range tracker.Stale(vocab) {
+			found[d.Pkg] = append(found[d.Pkg], finding{d.File, d.Line, checker.StaleAnalyzer, checker.StaleMessage(d, vocab)})
+		}
+	}
+
+	for _, path := range pkgPaths {
+		check(t, ld.pkgs[path], found[path])
 	}
 }
 
@@ -64,6 +138,7 @@ type loader struct {
 	srcDir string
 	fset   *token.FileSet
 	pkgs   map[string]*fixturePkg
+	order  []*fixturePkg // load completion order = dependency order
 	imp    types.Importer
 	std    map[string]string // import path -> export data file
 }
@@ -106,12 +181,16 @@ func (ld *loader) load(path string) (*fixturePkg, error) {
 	}
 	conf := types.Config{Importer: ld}
 	info := analysis.NewInfo()
+	// Type-checking pulls fixture dependencies in through Import, so
+	// their load() completes — and they join ld.order — before this
+	// package does.
 	tpkg, err := conf.Check(path, ld.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
 	}
 	pkg := &fixturePkg{path: path, fset: ld.fset, files: files, types: tpkg, info: info}
 	ld.pkgs[path] = pkg
+	ld.order = append(ld.order, pkg)
 	return pkg, nil
 }
 
@@ -156,7 +235,7 @@ type expectation struct {
 // that already carries a //finemoe: directive.
 var wantRE = regexp.MustCompile(`(?://|/\*) want (.*)$`)
 
-func check(t *testing.T, a *analysis.Analyzer, pkg *fixturePkg) {
+func check(t *testing.T, pkg *fixturePkg, findings []finding) {
 	t.Helper()
 	expects := map[string]map[int][]*expectation{} // file -> line -> expectations
 	for _, f := range pkg.files {
@@ -185,30 +264,18 @@ func check(t *testing.T, a *analysis.Analyzer, pkg *fixturePkg) {
 		}
 	}
 
-	diags, err := checker.Analyze(&analysis.Package{
-		ImportPath: pkg.path,
-		Fset:       pkg.fset,
-		Files:      pkg.files,
-		Types:      pkg.types,
-		TypesInfo:  pkg.info,
-	}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("%s on %s: %v", a.Name, pkg.path, err)
-	}
-
-	for _, d := range diags {
-		pos := pkg.fset.Position(d.Pos)
-		lineExp := expects[pos.Filename][pos.Line]
+	for _, d := range findings {
+		lineExp := expects[d.file][d.line]
 		found := false
 		for _, e := range lineExp {
-			if !e.matched && e.re.MatchString(d.Message) {
+			if !e.matched && e.re.MatchString(d.message) {
 				e.matched = true
 				found = true
 				break
 			}
 		}
 		if !found {
-			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", d.file, d.line, d.analyzer, d.message)
 		}
 	}
 	var lines []string

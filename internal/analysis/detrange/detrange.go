@@ -29,9 +29,10 @@ const Directive = "nondeterministic-ok"
 var Scope = analysis.SimPackages
 
 var Analyzer = &analysis.Analyzer{
-	Name: "detrange",
-	Doc:  "flags nondeterministic map iteration in simulator packages",
-	Run:  run,
+	Name:       "detrange",
+	Doc:        "flags nondeterministic map iteration in simulator packages",
+	Run:        run,
+	Directives: []string{Directive},
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -1,0 +1,242 @@
+// Package floatorder generalizes detrange's float rejection beyond map
+// ranges: floating-point accumulation is not associative, so a float
+// reduction (+=, -=, *=, /=) whose iteration order the runtime does not
+// pin changes its low bits from run to run and breaks the byte-identical
+// goldens the simulator packages are held to. Three order sources are
+// flagged:
+//
+//   - map ranges: Go randomizes iteration order per run;
+//   - goroutines: a reduction into a variable captured by a `go`
+//     statement's function literal or a par.ForEach worker body runs in
+//     completion order (and is usually also a data race — see
+//     sharedstate);
+//   - heap pops: a loop draining container/heap pops equal-priority
+//     elements in an order that depends on the heap's internal layout,
+//     which in turn depends on insertion history.
+//
+// A reduction into a variable declared inside the loop/goroutine body is
+// fine (it never crosses iterations). Sanctioned reductions carry a
+// //finemoe:floatorder-ok <reason> (or the shared
+// //finemoe:nondeterministic-ok <reason>) directive.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is floatorder's own escape hatch; the analyzer also honors
+// detrange/noclock's shared nondeterministic-ok.
+const Directive = "floatorder-ok"
+
+// SharedDirective is the determinism-wide escape hatch floatorder
+// accepts as an alternative.
+const SharedDirective = "nondeterministic-ok"
+
+// Scope limits the analyzer to the simulator packages.
+var Scope = analysis.SimPackages
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "floatorder",
+	Doc:        "flags float reductions whose iteration order is map-, goroutine-, or heap-pop-dependent",
+	Run:        run,
+	Directives: []string{Directive, SharedDirective},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkBody(pass, n.Body, n.Body.Pos(), rangeKeyObj(pass, n), "map range iterates in randomized order")
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkCaptured(pass, lit, "goroutines complete in scheduler order")
+				}
+			case *ast.ForStmt:
+				if popsHeap(pass, n.Body) {
+					checkBody(pass, n.Body, n.Body.Pos(), nil, "heap pops order ties by internal layout")
+				}
+			case *ast.CallExpr:
+				if lit := parWorkerBody(pass, n); lit != nil {
+					checkCaptured(pass, lit, "parallel workers complete in scheduler order")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody flags float compound reductions in body targeting variables
+// declared outside scopeStart (reductions into loop-local accumulators
+// never cross iterations). A write indexed by the range's own key
+// variable (`m[k] += v` with k the range key) touches a distinct element
+// per iteration — map keys are unique — so order cannot matter and it is
+// sanctioned; keyObj is nil for loops with no such per-iteration key.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, scopeStart token.Pos, keyObj types.Object, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isFloatReduce(pass, as) {
+			return true
+		}
+		if root := rootObj(pass, as.Lhs[0]); root != nil && root.Pos() >= scopeStart && root.Pos() < body.End() {
+			return true // accumulator lives inside the loop body
+		}
+		if keyObj != nil && indexedByKey(pass, as.Lhs[0], keyObj) {
+			return true // per-key write: each iteration hits a unique element
+		}
+		report(pass, as, why)
+		return true
+	})
+}
+
+// rangeKeyObj returns the object of the range statement's key variable
+// (for `for k := range m` or `for k, v := range m`), or nil.
+func rangeKeyObj(pass *analysis.Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if rng.Tok == token.DEFINE {
+		return pass.TypesInfo.Defs[id]
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// indexedByKey reports whether lhs is an index expression whose index is
+// exactly the loop key variable.
+func indexedByKey(pass *analysis.Pass, lhs ast.Expr, keyObj types.Object) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == keyObj
+}
+
+// checkCaptured flags float compound reductions inside a
+// goroutine-launched literal whose target is captured from the enclosing
+// function (a literal-local accumulator is private to one goroutine).
+func checkCaptured(pass *analysis.Pass, lit *ast.FuncLit, why string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isFloatReduce(pass, as) {
+			return true
+		}
+		root := rootObj(pass, as.Lhs[0])
+		if root == nil {
+			return true
+		}
+		// Captured: declared outside the literal. Package-level vars and
+		// receiver/param state reached through captured pointers count too
+		// (their root is outside the literal by construction).
+		if root.Pos() >= lit.Pos() && root.Pos() < lit.End() {
+			return true
+		}
+		report(pass, as, why)
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, as *ast.AssignStmt, why string) {
+	if pass.Allowed(Directive, as) || pass.Allowed(SharedDirective, as) {
+		return
+	}
+	pass.Reportf(as.Pos(), "float reduction %s %s %s is order-sensitive (%s); sort the iteration, accumulate integers, or annotate //finemoe:%s <reason>",
+		types.ExprString(as.Lhs[0]), as.Tok, types.ExprString(as.Rhs[0]), why, Directive)
+}
+
+// isFloatReduce matches x op= v for float32/float64 x with op in
+// {+=, -=, *=, /=}.
+func isFloatReduce(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObj walks selector/index/paren/star chains to the base identifier's
+// object.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// popsHeap reports whether the loop body calls container/heap.Pop.
+func popsHeap(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Pop" {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+			pkgName.Imported().Path() == "container/heap" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parWorkerBody returns the function literal passed to par.ForEach (the
+// worker body that runs concurrently), if this call is one.
+func parWorkerBody(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ForEach" || len(call.Args) != 3 {
+		return nil
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || !analysis.PathMatches(pkgName.Imported().Path(), []string{"internal/par"}) {
+		return nil
+	}
+	lit, _ := call.Args[2].(*ast.FuncLit)
+	return lit
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, "../testdata", floatorder.Analyzer, "internal/baselines")
+}

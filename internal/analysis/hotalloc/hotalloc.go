@@ -2,16 +2,15 @@
 // annotated //finemoe:hotpath — the per-event code the serving loop runs
 // millions of times per experiment (engine stepping, residency
 // transitions, index scans, the cluster event heap). Inside an annotated
-// function it flags the allocation shapes that PR 4/5 eliminated and a
-// regression would silently reintroduce:
+// function it flags the allocation shapes detected by
+// internal/analysis/allocscan (pointer literals, unguarded make/append,
+// interface boxing, capturing closures); see that package for the exact
+// rules and the sanctioned cap-guard grow idiom.
 //
-//   - &T{…}, new(T): pointer-producing allocations
-//   - []T{…}, map literals, make(…): fresh backing stores — EXCEPT inside
-//     an `if cap(…) < n`-style guard, the sanctioned amortized-grow idiom
-//   - append to a slice declared in the same function without capacity
-//   - boxing a non-pointer concrete value into an interface
-//   - closures capturing local variables (the capture forces a heap
-//     allocation of both closure and captured slot)
+// hotalloc is deliberately intraprocedural — one function body at a
+// time; its interprocedural sibling callalloc walks the call graph from
+// the same //finemoe:hotpath roots and flags allocations in everything
+// they reach.
 //
 // Intentional allocations (cold grow paths, error exits) carry a
 // //finemoe:alloc-ok <reason> directive.
@@ -19,12 +18,10 @@ package hotalloc
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
-	"sort"
 	"strings"
 
 	"finemoe/internal/analysis"
+	"finemoe/internal/analysis/allocscan"
 )
 
 // Directive is the escape-hatch vocabulary entry hotalloc honors.
@@ -34,25 +31,34 @@ const Directive = "alloc-ok"
 const Marker = "//finemoe:hotpath"
 
 var Analyzer = &analysis.Analyzer{
-	Name: "hotalloc",
-	Doc:  "flags heap allocations inside //finemoe:hotpath functions",
-	Run:  run,
+	Name:       "hotalloc",
+	Doc:        "flags heap allocations inside //finemoe:hotpath functions",
+	Run:        run,
+	Directives: []string{Directive},
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotpath(fn) {
+			if !ok || fn.Body == nil || !IsHotpath(fn) {
 				continue
 			}
-			checkFunc(pass, fn)
+			for _, site := range allocscan.Scan(pass, fn) {
+				if pass.Allowed(Directive, site.Node) {
+					continue
+				}
+				pass.Reportf(site.Node.Pos(), "hotpath %s: %s", fn.Name.Name, site.Msg)
+			}
 		}
 	}
 	return nil, nil
 }
 
-func isHotpath(fn *ast.FuncDecl) bool {
+// IsHotpath reports whether the function's doc block carries the
+// //finemoe:hotpath marker (shared with callalloc, which roots its call
+// graph at the same functions).
+func IsHotpath(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false
 	}
@@ -62,278 +68,4 @@ func isHotpath(fn *ast.FuncDecl) bool {
 		}
 	}
 	return false
-}
-
-type checker struct {
-	pass *analysis.Pass
-	fn   *ast.FuncDecl
-	// guards are body ranges of `if cap(…)`/`if len(…)` statements — the
-	// amortized-grow idiom where make/append are sanctioned.
-	guards [][2]token.Pos
-	// reported de-duplicates nodes flagged through more than one rule
-	// (e.g. &T{…} visits both the unary expr and the composite literal).
-	reported map[ast.Node]bool
-}
-
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	c := &checker{pass: pass, fn: fn, reported: map[ast.Node]bool{}}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		ifs, ok := n.(*ast.IfStmt)
-		if !ok {
-			return true
-		}
-		if condUsesCapOrLen(pass, ifs.Cond) {
-			c.guards = append(c.guards, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
-		}
-		return true
-	})
-	ast.Inspect(fn.Body, c.visit)
-}
-
-func condUsesCapOrLen(pass *analysis.Pass, cond ast.Expr) bool {
-	found := false
-	ast.Inspect(cond, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") &&
-			pass.TypesInfo.Uses[id] == types.Universe.Lookup(id.Name) {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-func (c *checker) guarded(pos token.Pos) bool {
-	for _, g := range c.guards {
-		if pos >= g[0] && pos < g[1] {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *checker) report(n ast.Node, format string, args ...any) {
-	if c.reported[n] || c.pass.Allowed(Directive, n) {
-		return
-	}
-	c.reported[n] = true
-	c.pass.Reportf(n.Pos(), "hotpath %s: "+format, append([]any{c.fn.Name.Name}, args...)...)
-}
-
-func (c *checker) visit(n ast.Node) bool {
-	switch n := n.(type) {
-	case *ast.UnaryExpr:
-		if n.Op == token.AND {
-			if lit, ok := n.X.(*ast.CompositeLit); ok {
-				c.reported[lit] = true // don't double-report the literal
-				c.report(n, "&%s allocates on every call; pool or reuse it", typeLabel(c.pass, lit))
-			}
-		}
-	case *ast.CompositeLit:
-		t := c.pass.TypesInfo.TypeOf(n)
-		if t == nil || c.reported[n] || c.guarded(n.Pos()) {
-			return true
-		}
-		switch t.Underlying().(type) {
-		case *types.Slice, *types.Map:
-			c.report(n, "%s literal allocates a fresh backing store; preallocate and reuse", typeLabel(c.pass, n))
-		}
-	case *ast.CallExpr:
-		c.visitCall(n)
-	case *ast.AssignStmt:
-		c.visitAssign(n)
-	case *ast.FuncLit:
-		c.visitFuncLit(n)
-		return false // captures inside nested literals report once, at the outermost
-	}
-	return true
-}
-
-func (c *checker) visitCall(call *ast.CallExpr) {
-	if id, ok := call.Fun.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == types.Universe.Lookup(id.Name) {
-		switch id.Name {
-		case "new":
-			c.report(call, "new(…) allocates on every call; pool or reuse it")
-			return
-		case "make":
-			if !c.guarded(call.Pos()) {
-				c.report(call, "make outside a cap/len grow guard allocates on every call")
-			}
-			return
-		case "append":
-			c.visitAppend(call)
-			return
-		case "panic":
-			// A taken panic aborts the run; boxing its argument is free on
-			// the happy path.
-			return
-		}
-	}
-	// Interface boxing through call arguments.
-	sig, ok := typeOf(c.pass, call.Fun).(*types.Signature)
-	if !ok {
-		// Conversion to an interface type boxes too.
-		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
-			if types.IsInterface(tv.Type) && boxes(typeOf(c.pass, call.Args[0])) {
-				c.report(call, "converting %s to interface %s allocates", typeOf(c.pass, call.Args[0]), tv.Type)
-			}
-		}
-		return
-	}
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
-			pt = sig.Params().At(i).Type()
-		case sig.Variadic() && !call.Ellipsis.IsValid():
-			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
-		default:
-			continue
-		}
-		if !types.IsInterface(pt) {
-			continue
-		}
-		at := typeOf(c.pass, arg)
-		if boxes(at) {
-			c.report(arg, "passing %s as interface %s boxes the value (allocates)", at, pt)
-		}
-	}
-}
-
-func (c *checker) visitAssign(s *ast.AssignStmt) {
-	if s.Tok != token.ASSIGN {
-		return
-	}
-	for i, lhs := range s.Lhs {
-		if i >= len(s.Rhs) {
-			break
-		}
-		lt, rt := typeOf(c.pass, lhs), typeOf(c.pass, s.Rhs[i])
-		if lt != nil && types.IsInterface(lt) && boxes(rt) {
-			c.report(s.Rhs[i], "assigning %s to interface %s boxes the value (allocates)", rt, lt)
-		}
-	}
-}
-
-func (c *checker) visitAppend(call *ast.CallExpr) {
-	if c.guarded(call.Pos()) || len(call.Args) == 0 {
-		return
-	}
-	base, ok := call.Args[0].(*ast.Ident)
-	if !ok {
-		return // fields and selectors are assumed pooled/preallocated
-	}
-	obj := c.pass.TypesInfo.ObjectOf(base)
-	if obj == nil || obj.Pos() < c.fn.Body.Pos() {
-		return // parameter or outer-scope slice: caller owns capacity
-	}
-	if declaredWithoutCapacity(c.pass, c.fn.Body, obj) {
-		c.report(call, "append to %s, declared without preallocated capacity; make it with cap or reuse a pooled buffer", base.Name)
-	}
-}
-
-// declaredWithoutCapacity reports whether the local slice variable is
-// declared with no visible backing store: `var x []T`, `x := []T{}` or
-// `x := nil`-shaped declarations. Declarations via make, slicing an
-// existing array/slice, or a function call (pools) are treated as
-// preallocated.
-func declaredWithoutCapacity(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
-	bad := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if n.Tok != token.DEFINE {
-				return true
-			}
-			for i, lhs := range n.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || pass.TypesInfo.Defs[id] != obj {
-					continue
-				}
-				if i < len(n.Rhs) {
-					if lit, ok := n.Rhs[i].(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
-						bad = true
-					}
-				}
-			}
-		case *ast.DeclStmt:
-			gd, ok := n.Decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				return true
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, name := range vs.Names {
-					if pass.TypesInfo.Defs[name] == obj && len(vs.Values) == 0 {
-						bad = true
-					}
-				}
-			}
-		}
-		return true
-	})
-	return bad
-}
-
-func (c *checker) visitFuncLit(lit *ast.FuncLit) {
-	captured := map[string]bool{}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok || v.IsField() {
-			return true
-		}
-		// Free variable: declared inside the hot function but outside the
-		// closure literal. Package-level vars don't force a capture.
-		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
-			captured[v.Name()] = true
-		}
-		return true
-	})
-	if len(captured) == 0 {
-		return
-	}
-	names := make([]string, 0, len(captured))
-	for n := range captured {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	c.report(lit, "closure captures %s; captures force heap allocation — hoist the closure or pass state explicitly", strings.Join(names, ", "))
-}
-
-// boxes reports whether storing a value of type t in an interface
-// allocates: true for non-pointer concrete shapes (basics, structs,
-// arrays, slices), false for pointers, maps, chans, funcs, interfaces and
-// untyped nil, which fit the interface data word.
-func boxes(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	switch u := t.Underlying().(type) {
-	case *types.Basic:
-		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
-	case *types.Struct, *types.Array, *types.Slice:
-		return true
-	}
-	return false
-}
-
-func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
-	return pass.TypesInfo.TypeOf(e)
-}
-
-func typeLabel(pass *analysis.Pass, lit *ast.CompositeLit) string {
-	if t := pass.TypesInfo.TypeOf(lit); t != nil {
-		return t.String()
-	}
-	return "composite"
 }

@@ -33,9 +33,10 @@ const Directive = "release-ok"
 var OwnerPackages = []string{"internal/core"}
 
 var Analyzer = &analysis.Analyzer{
-	Name: "mustrelease",
-	Doc:  "flags pooled core.Query/core.Cursor acquisitions that are never released",
-	Run:  run,
+	Name:       "mustrelease",
+	Doc:        "flags pooled core.Query/core.Cursor acquisitions that are never released",
+	Run:        run,
+	Directives: []string{Directive},
 }
 
 func run(pass *analysis.Pass) (any, error) {

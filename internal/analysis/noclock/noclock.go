@@ -52,9 +52,10 @@ var bannedImports = map[string]string{
 }
 
 var Analyzer = &analysis.Analyzer{
-	Name: "noclock",
-	Doc:  "bans wall-clock reads and global math/rand outside allowlisted packages",
-	Run:  run,
+	Name:       "noclock",
+	Doc:        "bans wall-clock reads and global math/rand outside allowlisted packages",
+	Run:        run,
+	Directives: []string{Directive},
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -1,0 +1,17 @@
+package puritycheck_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/puritycheck"
+)
+
+// TestPuritycheck retargets the policy-interface list at the fixture
+// Scorer and checks direct, helper-chained, and cross-package
+// (fact-imported) global writes plus parameter mutation.
+func TestPuritycheck(t *testing.T) {
+	defer func(old []puritycheck.Target) { puritycheck.Targets = old }(puritycheck.Targets)
+	puritycheck.Targets = []puritycheck.Target{{Pkg: "finemoe/purity", Name: "Scorer"}}
+	analysistest.Run(t, "../testdata", puritycheck.Analyzer, "finemoe/purity")
+}

@@ -1,0 +1,253 @@
+// Package sharedstate flags unsynchronized shared mutable state between
+// a goroutine and the code around it. The simulator's one sanctioned
+// concurrency primitive is par.ForEach, whose contract is that each
+// worker writes only its own index of any result slice; raw `go`
+// statements are allowed but must order every shared access through a
+// channel, mutex, atomic, or WaitGroup.
+//
+// For each function literal launched concurrently (a `go func(){…}()`
+// statement or a par.ForEach worker body) the analyzer collects the
+// variables captured from the enclosing function and flags those the
+// literal WRITES, unless the write is provably ordered:
+//
+//   - the variable is itself a synchronizer (chan, sync.Mutex/RWMutex,
+//     sync.WaitGroup/Once/Map, atomic types) — touching it IS the
+//     synchronization;
+//   - the write is an element write `s[i] = …` indexed by a parameter of
+//     the worker literal or by a per-iteration variable passed as a call
+//     argument to the goroutine — the par.ForEach per-index contract;
+//   - the literal body locks a captured mutex (m.Lock()/RLock()) before
+//     use — coarse, but a lock anywhere in the body means the author
+//     thought about ordering;
+//   - every write goes through atomic method calls (x.Add, x.Store, …).
+//
+// Reads of captured variables are not flagged on their own: a
+// read-only capture of configuration is the normal, safe pattern (and
+// flagging reads would drown the signal). Sanctioned exceptions carry
+// //finemoe:sharedstate-ok <reason>.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finemoe/internal/analysis"
+)
+
+// Directive is sharedstate's escape hatch.
+const Directive = "sharedstate-ok"
+
+// Scope is the sim packages plus the worker pool itself.
+var Scope = append([]string{"internal/par"}, analysis.SimPackages...)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "sharedstate",
+	Doc:        "flags goroutine-captured variables written without channel/mutex/atomic/per-index ordering",
+	Run:        run,
+	Directives: []string{Directive},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		var encl *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				encl = n
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && encl != nil {
+					check(pass, encl, lit, "goroutine")
+				}
+			case *ast.CallExpr:
+				if lit := parWorkerBody(pass, n); lit != nil && encl != nil {
+					check(pass, encl, lit, "par.ForEach worker")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check flags unordered writes to captured variables inside a
+// concurrently-launched literal.
+func check(pass *analysis.Pass, encl *ast.FuncDecl, lit *ast.FuncLit, kind string) {
+	locked := bodyLocksMutex(pass, lit)
+	idxParams := indexParams(pass, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return true // nested literals: their params also count via idxParams? keep walking, captures still resolve
+		}
+		var target ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				checkWrite(pass, encl, lit, lhs, s, locked, idxParams, kind)
+			}
+			return true
+		case *ast.IncDecStmt:
+			target = s.X
+			checkWrite(pass, encl, lit, target, s, locked, idxParams, kind)
+			return true
+		}
+		return true
+	})
+}
+
+func checkWrite(pass *analysis.Pass, encl *ast.FuncDecl, lit *ast.FuncLit, lhs ast.Expr, at ast.Node, locked bool, idxParams map[types.Object]bool, kind string) {
+	root := rootObj(pass, lhs)
+	if root == nil {
+		return
+	}
+	v, ok := root.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	// Captured: declared in the enclosing function, outside the literal.
+	if !(v.Pos() >= encl.Pos() && v.Pos() < encl.End()) {
+		return // package-level or other-scope (puritycheck's beat)
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return // literal-local (params included): private to this goroutine
+	}
+	if isSyncType(v.Type()) {
+		return
+	}
+	if perIndexWrite(pass, lhs, idxParams) {
+		return
+	}
+	if locked {
+		return
+	}
+	if pass.Allowed(Directive, at) {
+		return
+	}
+	pass.Reportf(at.Pos(), "%s writes captured variable %s without channel/mutex/atomic ordering or a per-index write; synchronize it or annotate //finemoe:%s <reason>",
+		kind, v.Name(), Directive)
+}
+
+// perIndexWrite matches `s[i] = …` (or s[i].f = …) where i is one of the
+// literal's own parameters — the par.ForEach per-index contract.
+func perIndexWrite(pass *analysis.Pass, lhs ast.Expr, idxParams map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok && idxParams[pass.TypesInfo.Uses[id]] {
+				return true
+			}
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// indexParams collects the literal's own parameter objects (for
+// par.ForEach workers, the index).
+func indexParams(pass *analysis.Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// bodyLocksMutex reports whether the literal body calls Lock/RLock on
+// anything — a coarse "the author ordered this" signal.
+func bodyLocksMutex(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncType reports whether t is a synchronizer: a channel, a sync.* or
+// sync/atomic.* type, or a struct embedding one at the top level
+// (covers the `var mu sync.Mutex`-in-struct idiom when the whole struct
+// is the captured variable).
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			p := pkg.Path()
+			if p == "sync" || p == "sync/atomic" || strings.HasPrefix(p, "sync/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// parWorkerBody returns the function literal passed to par.ForEach, if
+// this call is one.
+func parWorkerBody(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ForEach" || len(call.Args) != 3 {
+		return nil
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || !analysis.PathMatches(pkgName.Imported().Path(), []string{"internal/par"}) {
+		return nil
+	}
+	lit, _ := call.Args[2].(*ast.FuncLit)
+	return lit
+}

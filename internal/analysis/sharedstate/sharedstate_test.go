@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"finemoe/internal/analysis/analysistest"
+	"finemoe/internal/analysis/sharedstate"
+)
+
+func TestSharedstate(t *testing.T) {
+	analysistest.Run(t, "../testdata", sharedstate.Analyzer, "internal/serve")
+}

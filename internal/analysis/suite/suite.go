@@ -1,0 +1,32 @@
+// Package suite is the one list of every finemoe-lint analyzer, shared
+// by the cmd/finemoe-lint drivers (standalone and vet-tool) and the
+// repo-clean regression test, so a newly added analyzer cannot be wired
+// into one consumer and forgotten in another.
+package suite
+
+import (
+	"finemoe/internal/analysis"
+	"finemoe/internal/analysis/callalloc"
+	"finemoe/internal/analysis/detrange"
+	"finemoe/internal/analysis/floatorder"
+	"finemoe/internal/analysis/hotalloc"
+	"finemoe/internal/analysis/mustrelease"
+	"finemoe/internal/analysis/noclock"
+	"finemoe/internal/analysis/puritycheck"
+	"finemoe/internal/analysis/sharedstate"
+	"finemoe/internal/analysis/unitmix"
+)
+
+// All lists the full analyzer suite: the five intraprocedural checks
+// first, then the four interprocedural, fact-carrying ones.
+var All = []*analysis.Analyzer{
+	detrange.Analyzer,
+	noclock.Analyzer,
+	hotalloc.Analyzer,
+	unitmix.Analyzer,
+	mustrelease.Analyzer,
+	callalloc.Analyzer,
+	sharedstate.Analyzer,
+	floatorder.Analyzer,
+	puritycheck.Analyzer,
+}

@@ -1,0 +1,39 @@
+// Package callee is the dependency side of the callalloc cross-package
+// fixtures: finemoe/hotcaller imports it, so its AllocFacts must flow
+// through the shared fact store for the hotcaller wants to fire.
+package callee
+
+// Grow allocates (the fresh-slice clone idiom) and therefore exports an
+// AllocFact.
+func Grow(xs []int, v int) []int {
+	out := append([]int(nil), xs...)
+	return append(out, v)
+}
+
+// Sum is allocation-free; no fact, callers stay clean.
+func Sum(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Pooled allocates but is sanctioned at the function level, so it exports
+// no fact and hot callers may use it freely.
+//
+//finemoe:allocok fixture: pool growth amortized across the run
+func Pooled(n int) []int {
+	return make([]int, n)
+}
+
+// Deep reaches an allocation two hops down; the chain in the importing
+// package's diagnostic must walk through both.
+func Deep(n int) int {
+	return deeper(n)
+}
+
+func deeper(n int) int {
+	s := make([]int, n)
+	return len(s)
+}

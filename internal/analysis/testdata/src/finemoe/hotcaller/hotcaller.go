@@ -1,0 +1,67 @@
+// Package hotcaller exercises callalloc's whole-program side: hotpath
+// roots whose allocations hide behind local helpers, cross-package calls
+// (facts imported from finemoe/callee), interface dispatch, and indirect
+// calls.
+package hotcaller
+
+import "finemoe/callee"
+
+//finemoe:hotpath
+func Step(xs []int) int {
+	xs = callee.Grow(xs, 1) // want "call to callee.Grow eventually allocates"
+	return callee.Sum(xs)   // clean callee: no diagnostic
+}
+
+//finemoe:hotpath
+func DeepStep(n int) int {
+	return callee.Deep(n) // want "call to callee.Deep eventually allocates"
+}
+
+//finemoe:hotpath
+func PooledStep(n int) int {
+	return len(callee.Pooled(n)) // sanctioned leaf: no diagnostic
+}
+
+//finemoe:hotpath
+func SanctionedSite(xs []int) []int {
+	//finemoe:allocok fixture: trace buffer amortized across the run
+	return callee.Grow(xs, 2)
+}
+
+//finemoe:hotpath
+func Local(n int) int {
+	return helper(n) // want "call to hotcaller.helper eventually allocates"
+}
+
+func helper(n int) int { return helper2(n) }
+
+func helper2(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// Policy is dispatch target for the interface-resolution fixture: heavy
+// allocates, light does not; the call site must be flagged because SOME
+// in-module implementer allocates.
+type Policy interface{ Pick(n int) int }
+
+type heavy struct{}
+
+func (heavy) Pick(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+type light struct{}
+
+func (light) Pick(n int) int { return n }
+
+//finemoe:hotpath
+func Route(p Policy, n int) int {
+	return p.Pick(n) // want "eventually allocates"
+}
+
+//finemoe:hotpath
+func Apply(f func(int) int, x int) int {
+	return f(x) // want "indirect call"
+}

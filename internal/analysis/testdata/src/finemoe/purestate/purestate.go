@@ -1,0 +1,12 @@
+// Package purestate is the dependency side of the puritycheck
+// cross-package fixtures: its Bump writes a package-level counter, so it
+// exports a GlobalWriteFact that finemoe/purity's implementers pick up.
+package purestate
+
+var counter int
+
+// Bump writes package state; the exported fact carries the chain.
+func Bump() { counter++ }
+
+// Read is pure: no fact.
+func Read() int { return counter }

@@ -1,0 +1,75 @@
+// Package purity exercises puritycheck against a fixture Scorer
+// interface (the test points puritycheck.Targets here): implementers
+// must not write globals — directly, via a local helper, or via a
+// cross-package call whose GlobalWriteFact flows in from
+// finemoe/purestate — and must not write through parameters.
+package purity
+
+import "finemoe/purestate"
+
+type Scorer interface {
+	Score(xs []float64) float64
+}
+
+var hits int
+
+type direct struct{}
+
+func (direct) Score(xs []float64) float64 { // want "writes package-level state"
+	hits++
+	return 0
+}
+
+type chained struct{}
+
+func (chained) Score(xs []float64) float64 { // want "writes package-level state"
+	bump()
+	return 0
+}
+
+func bump() { hits++ }
+
+type imported struct{}
+
+func (imported) Score(xs []float64) float64 { // want "writes package-level state: purestate.Bump writes purestate.counter"
+	purestate.Bump()
+	return 0
+}
+
+type mutator struct{}
+
+func (mutator) Score(xs []float64) float64 {
+	xs[0] = 1 // want "writes through parameter xs"
+	return xs[0]
+}
+
+type clean struct{ cursor int }
+
+func (c *clean) Score(xs []float64) float64 {
+	c.cursor++ // receiver state is the policy's own
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total + float64(purestate.Read())
+}
+
+type rebind struct{}
+
+func (rebind) Score(xs []float64) float64 {
+	xs = nil // rebinding the local copy is harmless
+	_ = xs
+	return 0
+}
+
+type sanctioned struct{}
+
+//finemoe:impure-ok fixture: the global tally is the experiment's own subject
+func (sanctioned) Score(xs []float64) float64 {
+	hits++
+	return 0
+}
+
+// Helper is an exported non-method global writer: it must export a fact
+// but not be reported (it is not an interface method).
+func Helper() { hits++ }

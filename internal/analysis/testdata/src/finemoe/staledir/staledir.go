@@ -1,0 +1,25 @@
+// Package staledir exercises the staleness sweep: a suppression whose
+// diagnostic no longer fires, a directive outside the vocabulary, and a
+// live suppression that must NOT be flagged.
+package staledir
+
+func Clean(x int) int {
+	y := x + x /* want "is stale" */ //finemoe:allocok nothing on this line allocates
+	return y
+}
+
+func Typo(x int) int {
+	/* want "not a known directive" */ //finemoe:allockok misspelled directive name
+	return x + 1
+}
+
+//finemoe:hotpath
+func Live(n int) int {
+	//finemoe:allocok fixture: scratch growth amortized — suppresses a real diagnostic, stays fresh
+	return alloc(n)
+}
+
+func alloc(n int) int {
+	s := make([]int, n)
+	return len(s)
+}

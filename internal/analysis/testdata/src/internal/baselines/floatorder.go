@@ -1,0 +1,78 @@
+// Package baselines (fixture) exercises floatorder: float reductions
+// under the three unordered iteration sources, plus every sanctioned
+// shape (loop-local accumulator, per-key write, directives).
+package baselines
+
+import "container/heap"
+
+func MapReduce(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "order-sensitive"
+	}
+	return total
+}
+
+func PerKey(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v // per-key write: every iteration hits a distinct element
+	}
+}
+
+func LoopLocal(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v // accumulator lives inside the map-range body: ordered
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func Spawned(xs []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, v := range xs {
+			total += v // want "order-sensitive"
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+type minHeap []float64
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() any          { old := *h; v := old[len(old)-1]; *h = old[:len(old)-1]; return v }
+
+func Drain(h *minHeap) float64 {
+	total := 0.0
+	for h.Len() > 0 {
+		v := heap.Pop(h).(float64)
+		total += v // want "order-sensitive"
+	}
+	return total
+}
+
+func SanctionedOwn(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //finemoe:floatorder-ok fixture: reported with an epsilon band, order drift tolerated
+	}
+	return total
+}
+
+func SanctionedShared(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //finemoe:nondeterministic-ok fixture: diagnostic-only aggregate outside the goldens
+	}
+	return total
+}

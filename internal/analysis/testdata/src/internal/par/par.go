@@ -1,0 +1,11 @@
+// Package par is a fixture stand-in for the real worker pool: the
+// concurrency analyzers match par.ForEach calls by import-path suffix
+// and arity, so this sequential double is enough to trigger them.
+package par
+
+// ForEach mirrors the real pool's signature: fn(i) for i in [0, n).
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

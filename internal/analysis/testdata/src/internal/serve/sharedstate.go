@@ -1,0 +1,74 @@
+// Package serve (fixture) exercises sharedstate: goroutine- and
+// par.ForEach-captured writes, and each of the sanctioned orderings.
+package serve
+
+import (
+	"sync"
+
+	"internal/par"
+)
+
+func Race() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++ // want "goroutine writes captured variable total"
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+func Locked() int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		total++ // lock anywhere in the body sanctions the write
+		mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+	return total
+}
+
+func PerIndex(n int) []float64 {
+	out := make([]float64, n)
+	par.ForEach(n, 4, func(i int) {
+		out[i] = float64(i) // per-index write: the ForEach contract
+	})
+	return out
+}
+
+func WorkerRace(n int) float64 {
+	total := 0.0
+	par.ForEach(n, 4, func(i int) {
+		total += float64(i) // want "par.ForEach worker writes captured variable total"
+	})
+	return total
+}
+
+func Sanctioned() int {
+	hits := 0
+	done := make(chan struct{})
+	go func() {
+		//finemoe:sharedstate-ok fixture: single goroutine joined through done before any read
+		hits++
+		close(done)
+	}()
+	<-done
+	return hits
+}
+
+func LiteralLocal() {
+	done := make(chan struct{})
+	go func() {
+		local := 0
+		local++ // literal-local state is private to the goroutine
+		_ = local
+		close(done)
+	}()
+	<-done
+}

@@ -29,9 +29,10 @@ const Directive = "unit-ok"
 var Scope = analysis.SimPackages
 
 var Analyzer = &analysis.Analyzer{
-	Name: "unitmix",
-	Doc:  "flags arithmetic and comparisons mixing conflicting unit suffixes",
-	Run:  run,
+	Name:       "unitmix",
+	Doc:        "flags arithmetic and comparisons mixing conflicting unit suffixes",
+	Run:        run,
+	Directives: []string{Directive},
 }
 
 // suffixUnits maps identifier suffixes to unit classes, longest suffix

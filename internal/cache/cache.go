@@ -92,6 +92,13 @@ type Cache struct {
 	// the source of an in-flight DMA and must not be dropped — while the
 	// GPU cache keeps the lenient last-resort semantics.
 	strictPinned bool
+	// evictScratch backs the slice Insert returns, reused across calls so
+	// the serving loop's insert path stays allocation-free after warmup.
+	evictScratch []moe.ExpertRef
+	// metaFree recycles Meta records from evicted entries; Insert reuses
+	// them before allocating. Meta pointers never leave the package, so an
+	// evicted entry's record cannot be aliased by callers.
+	metaFree []*Meta
 }
 
 // New builds a cache holding at most capacity experts under the given
@@ -167,6 +174,8 @@ func (c *Cache) UnpinAll() {
 // Insert makes ref resident at time now, evicting by scorer as needed, and
 // returns the evicted experts. Inserting a resident expert refreshes
 // nothing and returns nil. If capacity is zero the insert is rejected.
+// The returned slice aliases an internal scratch buffer: it is valid only
+// until the next Insert on this cache — consume it before re-inserting.
 func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 	if c.capacity == 0 {
 		c.stats.RejectedInserts++
@@ -175,7 +184,7 @@ func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 	if c.Contains(ref) {
 		return nil
 	}
-	var evicted []moe.ExpertRef
+	c.evictScratch = c.evictScratch[:0]
 	for len(c.entries) >= c.capacity {
 		victim, ok := c.pickVictim(now)
 		if !ok {
@@ -183,27 +192,43 @@ func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 				// Every entry is pinned (an in-flight DMA source);
 				// refuse the insert rather than drop one mid-copy.
 				c.stats.RejectedInserts++
-				return evicted
+				return c.evictScratch
 			}
 			// Everything is pinned; evict anyway (last resort) so
 			// the activated expert can be served — but count it.
 			victim, ok = c.pickVictimIncludingPinned(now)
 			if !ok {
 				c.stats.RejectedInserts++
-				return evicted
+				return c.evictScratch
 			}
 			c.stats.PinnedEvictions++
 		}
+		c.metaFree = append(c.metaFree, c.entries[victim])
 		delete(c.entries, victim)
 		c.stats.Evictions++
-		evicted = append(evicted, victim)
+		c.evictScratch = append(c.evictScratch, victim)
 	}
-	c.entries[ref] = &Meta{Freq: 1, LastUse: now, Inserted: now}
+	m := c.newMeta()
+	*m = Meta{Freq: 1, LastUse: now, Inserted: now}
+	c.entries[ref] = m
 	c.stats.Insertions++
 	if len(c.entries) > c.stats.PeakResidentExp {
 		c.stats.PeakResidentExp = len(c.entries)
 	}
-	return evicted
+	return c.evictScratch
+}
+
+// newMeta pops the Meta free list, allocating only while the cache warms
+// toward capacity (after that every insert evicts, recycling a record).
+//
+//finemoe:allocok grows the Meta free list only until the cache reaches capacity; steady-state inserts recycle the victim's record
+func (c *Cache) newMeta() *Meta {
+	if n := len(c.metaFree); n > 0 {
+		m := c.metaFree[n-1]
+		c.metaFree = c.metaFree[:n-1]
+		return m
+	}
+	return &Meta{}
 }
 
 func (c *Cache) pickVictim(now float64) (moe.ExpertRef, bool) {
@@ -256,9 +281,11 @@ func (c *Cache) Pinned(ref moe.ExpertRef) bool {
 // tiered-memory demotion path accounts the movement itself). Reports
 // whether the expert was resident.
 func (c *Cache) Remove(ref moe.ExpertRef) bool {
-	if _, ok := c.entries[ref]; !ok {
+	m, ok := c.entries[ref]
+	if !ok {
 		return false
 	}
+	c.metaFree = append(c.metaFree, m)
 	delete(c.entries, ref)
 	return true
 }

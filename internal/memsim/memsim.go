@@ -121,6 +121,7 @@ type Link struct {
 	bytes int64   // bytes per expert on this model
 
 	queue        []*Transfer // pending, unscheduled
+	free         []*Transfer // recycled records; Prefetch reuses before allocating
 	current      *Transfer   // scheduled with End > drained time
 	freeAt       float64     // when the prefetch stream finishes scheduled work
 	demandFreeAt float64     // when the on-demand stream becomes free
@@ -158,10 +159,25 @@ func (l *Link) Prefetch(ref moe.ExpertRef, priority, issueTime float64) bool {
 	if l.state[ref] != stateNone {
 		return false
 	}
-	l.queue = append(l.queue, &Transfer{Ref: ref, IssueTime: issueTime, Priority: priority})
+	t := l.newTransfer()
+	*t = Transfer{Ref: ref, IssueTime: issueTime, Priority: priority}
+	l.queue = append(l.queue, t)
 	l.state[ref] = stateQueued
 	l.prefetchCount++
 	return true
+}
+
+// newTransfer pops the free list, allocating only while the list warms up
+// or when every record is queued or in flight.
+//
+//finemoe:allocok grows the transfer free list; steady state recycles records returned by schedule and OnDemand
+func (l *Link) newTransfer() *Transfer {
+	if n := len(l.free); n > 0 {
+		t := l.free[n-1]
+		l.free = l.free[:n-1]
+		return t
+	}
+	return &Transfer{}
 }
 
 // AdvanceTo processes the transfer schedule up to time now and returns the
@@ -182,6 +198,7 @@ func (l *Link) schedule(now float64) {
 				break
 			}
 			l.finish(*l.current)
+			l.free = append(l.free, l.current)
 			l.current = nil
 		}
 		next := l.pickNext(now)
@@ -247,6 +264,7 @@ func (l *Link) OnDemand(ref moe.ExpertRef, now float64) float64 {
 		for i, t := range l.queue {
 			if t.Ref == ref {
 				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				l.free = append(l.free, t)
 				break
 			}
 		}
@@ -290,6 +308,11 @@ type Cluster struct {
 
 	hier    Hierarchy
 	staging []*Link // staging[j] feeds host tier j from host tier j+1
+	// stageScratch and drainScratch back the slices AdvanceStagingTo and
+	// AdvanceTo return, reused across drains; each is valid only until the
+	// next call of its method.
+	stageScratch []StageTransfer
+	drainScratch []Transfer
 }
 
 // NewCluster builds an N-GPU cluster for the given model over the
@@ -347,13 +370,15 @@ func (c *Cluster) OnDemand(ref moe.ExpertRef, now float64) float64 {
 	return c.links[c.GPUFor(ref)].OnDemand(ref, now)
 }
 
-// AdvanceTo advances every link to now and returns all completed transfers.
+// AdvanceTo advances every link to now and returns all completed
+// transfers. The returned slice aliases an internal scratch buffer valid
+// only until the next AdvanceTo call.
 func (c *Cluster) AdvanceTo(now float64) []Transfer {
-	var out []Transfer
+	c.drainScratch = c.drainScratch[:0]
 	for _, l := range c.links {
-		out = append(out, l.AdvanceTo(now)...)
+		c.drainScratch = append(c.drainScratch, l.AdvanceTo(now)...)
 	}
-	return out
+	return c.drainScratch
 }
 
 // SyncLoad performs blocking loads of all refs, parallelized across device

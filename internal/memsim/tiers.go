@@ -150,15 +150,16 @@ func (c *Cluster) StageTracked(ref moe.ExpertRef) bool {
 
 // AdvanceStagingTo advances every staging link to now and returns the
 // staging copies completed since the last drain, deepest tier first
-// within equal levels, in completion order per link.
+// within equal levels, in completion order per link. The returned slice
+// aliases an internal scratch buffer valid only until the next call.
 func (c *Cluster) AdvanceStagingTo(now float64) []StageTransfer {
-	var out []StageTransfer
+	c.stageScratch = c.stageScratch[:0]
 	for j, l := range c.staging {
 		for _, t := range l.AdvanceTo(now) {
-			out = append(out, StageTransfer{Transfer: t, Level: j})
+			c.stageScratch = append(c.stageScratch, StageTransfer{Transfer: t, Level: j})
 		}
 	}
-	return out
+	return c.stageScratch
 }
 
 // StagingStats returns per-staging-link statistics: StagingStats()[j] is

@@ -163,7 +163,19 @@ type Engine struct {
 	pendingIt [][]*moe.Iteration
 	running   []*runReq
 	completed []RequestMetrics
-	now       float64
+	// batchScratch is step's reusable copy of running (finishIteration
+	// compacts e.running while the batch is iterated, so the iteration
+	// must walk a stable copy — but not a fresh one per event).
+	batchScratch []*runReq
+	// Per-iteration scratch reused across runIteration calls: the policy
+	// view buffers, the per-layer residency set, and the per-device
+	// expert-compute accumulator. Valid only within one call.
+	iterScratch  []policy.IterView
+	layerScratch []policy.LayerView
+	admitScratch []*runReq
+	residScratch map[moe.ExpertRef]bool
+	gpuScratch   []float64
+	now          float64
 	// offline switches admission to RunOffline's lockstep fixed-batch
 	// semantics: a new batch is admitted only when the previous one fully
 	// drains, arrival times are ignored, and submission order is kept.
@@ -347,7 +359,10 @@ func (r *runReq) done() bool { return r.next >= len(r.iters) }
 // own next iteration). Returns the completion time.
 func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 	e.iterations++
-	iterViews := make([]policy.IterView, len(batch))
+	if cap(e.iterScratch) < len(batch) {
+		e.iterScratch = make([]policy.IterView, len(batch))
+	}
+	iterViews := e.iterScratch[:len(batch)]
 	totalTokens := 0
 	for i, r := range batch {
 		it := r.iters[r.next]
@@ -360,9 +375,13 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 		}
 		totalTokens += it.Tokens
 	}
+	//finemoe:alloc-ok one policy-hook closure per iteration, amortized over the batch's tokens
 	now = e.hook(now, func(t float64) float64 { return e.pol.StartIteration(iterViews, t) })
 
-	layerViews := make([]policy.LayerView, len(batch))
+	if cap(e.layerScratch) < len(batch) {
+		e.layerScratch = make([]policy.LayerView, len(batch))
+	}
+	layerViews := e.layerScratch[:len(batch)]
 	for l := 0; l < e.cfg.Layers; l++ {
 		// Dense (attention + norms + shared experts) compute.
 		attn := e.attnTime(totalTokens)
@@ -380,13 +399,18 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 				Hidden: it.Hidden[l],
 			}
 		}
+		//finemoe:alloc-ok one policy-hook closure per layer, amortized over the layer's expert compute
 		now = e.hook(now, func(t float64) float64 { return e.pol.OnGate(l, layerViews, t) })
 		e.drain(now)
 
 		// Resolve the batch's activated experts: residency snapshot
 		// determines hits (§3.2 Step 4), then misses load on demand.
 		active, perReq := e.unionActive(batch, l)
-		resident := make(map[moe.ExpertRef]bool, len(active))
+		if e.residScratch == nil {
+			e.residScratch = make(map[moe.ExpertRef]bool, len(active))
+		}
+		clear(e.residScratch)
+		resident := e.residScratch
 		for _, ref := range active {
 			resident[ref] = e.caches.Contains(ref)
 		}
@@ -425,6 +449,7 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 
 	for _, r := range batch {
 		it := r.iters[r.next]
+		//finemoe:alloc-ok one policy-hook closure per finished request per iteration, amortized over the request's tokens
 		now = e.hook(now, func(t float64) float64 { return e.pol.EndIteration(r.req.ID, it, t) })
 	}
 	return now
@@ -433,6 +458,8 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 // hook runs a policy hook, applies its synchronous delay to the clock, and
 // attributes the portion spent inside SyncLoad to expert loading and the
 // remainder to prediction compute.
+//
+//finemoe:allocok dispatches into the policy under test through a function value; policy-side allocations are the experiment's subject, not the serving loop's overhead
 func (e *Engine) hook(now float64, f func(now float64) float64) float64 {
 	mark := e.syncLoadMS
 	delay := f(now)
@@ -451,6 +478,8 @@ func (e *Engine) hook(now float64, f func(now float64) float64) float64 {
 
 // unionActive returns the deduplicated activated experts at layer l across
 // the batch (first-activation order) and each request's own activation set.
+//
+//finemoe:allocok per-layer working-set extraction sized by the batch's activated experts, amortized over the layer's token compute
 func (e *Engine) unionActive(batch []*runReq, l int) ([]moe.ExpertRef, [][]moe.ExpertRef) {
 	var union []moe.ExpertRef
 	seen := map[moe.ExpertRef]bool{}
@@ -487,7 +516,13 @@ func (e *Engine) expertTime(active []moe.ExpertRef, tokens int) float64 {
 	if len(active) == 0 {
 		return 0
 	}
-	perGPU := make([]float64, e.opts.NumGPUs)
+	if cap(e.gpuScratch) < e.opts.NumGPUs {
+		e.gpuScratch = make([]float64, e.opts.NumGPUs)
+	}
+	perGPU := e.gpuScratch[:e.opts.NumGPUs]
+	for i := range perGPU {
+		perGPU[i] = 0
+	}
 	tokensPerExpert := float64(tokens) * float64(e.cfg.TopK) / float64(len(active))
 	for _, ref := range active {
 		g := e.cluster.GPUFor(ref)
@@ -670,6 +705,8 @@ func (e *Engine) Finalize() *Result {
 // simulating its gate trace if none was supplied. arrival records the
 // request's metric arrival time (its trace arrival online, the current
 // clock offline).
+//
+//finemoe:allocok one runReq (and its gate trace when not pre-supplied) per admitted request, amortized over the request's full token stream
 func (e *Engine) admitOne(arrival float64) *runReq {
 	q := e.pending[0]
 	iters := e.pendingIt[0]
@@ -687,11 +724,13 @@ func (e *Engine) admitOne(arrival float64) *runReq {
 
 // admit pulls every due arrival into the batch up to MaxBatch (online
 // continuous-batching admission).
+// The returned batch aliases a scratch buffer valid until the next admit.
 func (e *Engine) admit() []*runReq {
-	var fresh []*runReq
+	fresh := e.admitScratch[:0]
 	for len(e.pending) > 0 && len(e.running) < e.opts.MaxBatch && e.pending[0].ArrivalMS <= e.now {
 		fresh = append(fresh, e.admitOne(e.pending[0].ArrivalMS))
 	}
+	e.admitScratch = fresh
 	return fresh
 }
 
@@ -717,7 +756,8 @@ func (e *Engine) step() bool {
 				e.admitOne(e.now)
 			}
 		}
-		e.runBatch(append([]*runReq(nil), e.running...))
+		e.batchScratch = append(e.batchScratch[:0], e.running...)
+		e.runBatch(e.batchScratch)
 		return true
 	}
 	if len(e.running) == 0 && e.pending[0].ArrivalMS > e.now {
@@ -734,7 +774,8 @@ func (e *Engine) step() bool {
 		// returning false keeps Drain from spinning if that ever changes.
 		return false
 	}
-	e.runBatch(append([]*runReq(nil), e.running...))
+	e.batchScratch = append(e.batchScratch[:0], e.running...)
+	e.runBatch(e.batchScratch)
 	return true
 }
 
