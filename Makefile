@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short lint vet-lint fmt
+.PHONY: build test test-short lint vet-lint fmt clusterbench
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ vet-lint:
 
 fmt:
 	gofmt -w .
+
+# Regenerate the committed sharded cluster-loop baseline: a 32-instance
+# 1M-request bursty trace through the serial loop and the sharded loop at
+# workers 1/2/4/NumCPU, byte-parity checked, honest wall-clock ratios.
+clusterbench:
+	$(GO) run ./cmd/finemoe-bench -clusterbench BENCH_cluster.json

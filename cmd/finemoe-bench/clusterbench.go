@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"finemoe/internal/cluster"
+	"finemoe/internal/core"
+	"finemoe/internal/memsim"
+	"finemoe/internal/moe"
+	"finemoe/internal/serve"
+	"finemoe/internal/walltime"
+	"finemoe/internal/workload"
+)
+
+// clusterBenchRun is one loop configuration's measurement in the
+// committed BENCH_cluster.json baseline. Workers 0 is the serial
+// shared-clock loop every sharded run is compared against.
+type clusterBenchRun struct {
+	Workers         int     `json:"workers"`
+	WallMS          float64 `json:"wall_ms"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	ByteParity      bool    `json:"byte_parity_vs_serial"`
+}
+
+// clusterBenchBaseline is the artifact's top-level schema. Speedups are
+// honest measurements on the generating machine — NumCPU and GOMAXPROCS
+// are recorded precisely because a single-core runner cannot show the
+// multi-core scaling the sharded loop exists for.
+type clusterBenchBaseline struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	NumCPU      int               `json:"num_cpu"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Model       string            `json:"model"`
+	Instances   int               `json:"instances"`
+	Requests    int               `json:"requests"`
+	Arrival     string            `json:"arrival"`
+	Served      int               `json:"served"`
+	FollowUps   int               `json:"follow_ups"`
+	SimulatedMS float64           `json:"simulated_wall_ms"`
+	Runs        []clusterBenchRun `json:"runs"`
+}
+
+// clusterBenchFleet builds one fresh fleet for a bench run: Tiny-model
+// FineMoE instances on the paper's testbed GPU, least-loaded routing.
+func clusterBenchFleet(m *moe.Model, instances, workers int) *cluster.Cluster {
+	cfg := m.Cfg
+	engines := make([]*serve.Engine, instances)
+	for i := range engines {
+		pol := core.NewFineMoE(core.NewStore(cfg, 50, cfg.OptimalPrefetchDistance), core.Options{})
+		engines[i] = serve.New(serve.Options{
+			Model: m, GPU: memsim.RTX3090(), NumGPUs: 1, Policy: pol,
+		})
+	}
+	return cluster.New(cluster.Options{
+		Engines: engines,
+		Router:  cluster.NewLeastLoaded(),
+		Workers: workers,
+	})
+}
+
+// runClusterBench drives the sharded cluster loop benchmark: one bursty
+// MMPP trace of n requests over a fixed fleet, run through the serial
+// loop and then the sharded loop at several worker counts. Every sharded
+// run's full ClusterResult must be byte-identical to the serial loop's —
+// a parity failure aborts the benchmark — and the honest wall-clock
+// ratios land in the JSON baseline at path.
+func runClusterBench(path string, n, instances int) error {
+	if n <= 0 || instances <= 0 {
+		return fmt.Errorf("need positive request count and fleet size (got %d, %d)", n, instances)
+	}
+	m := moe.NewModel(moe.Tiny(), 42)
+	arrivals := workload.BurstyMMPP(8 * float64(instances))
+	trace := workload.OnlineTrace(workload.Dataset{
+		Name: "clusterbench", Topics: 8, TopicSpread: 0.05,
+		MeanInput: 5, MeanOutput: 4, LenSigma: 0.3, Seed: 11,
+	}, m.Cfg.SemDim, workload.OnlineOptions{
+		Arrivals: arrivals, N: n, Seed: 42,
+	})
+
+	out := &clusterBenchBaseline{
+		GeneratedBy: "finemoe-bench -clusterbench",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Model:       m.Cfg.Name,
+		Instances:   instances,
+		Requests:    n,
+		Arrival:     arrivals.Name(),
+	}
+
+	measure := func(workers int) ([]byte, float64, *cluster.Result, error) {
+		c := clusterBenchFleet(m, instances, workers)
+		watch := walltime.Start()
+		res := c.RunTrace(trace)
+		wall := float64(watch.Elapsed().Microseconds()) / 1000
+		b, err := json.Marshal(res)
+		return b, wall, res, err
+	}
+
+	serialBytes, serialWall, serialRes, err := measure(0)
+	if err != nil {
+		return err
+	}
+	out.Served = serialRes.Served
+	out.FollowUps = serialRes.FollowUps
+	out.SimulatedMS = serialRes.WallClockMS
+	out.Runs = append(out.Runs, clusterBenchRun{Workers: 0, WallMS: serialWall, SpeedupVsSerial: 1, ByteParity: true})
+
+	counts := []int{1, 2, 4}
+	if nc := runtime.NumCPU(); nc != 1 && nc != 2 && nc != 4 {
+		counts = append(counts, nc)
+	}
+	for _, w := range counts {
+		b, wall, _, err := measure(w)
+		if err != nil {
+			return err
+		}
+		parity := bytes.Equal(b, serialBytes)
+		out.Runs = append(out.Runs, clusterBenchRun{
+			Workers:         w,
+			WallMS:          wall,
+			SpeedupVsSerial: serialWall / wall,
+			ByteParity:      parity,
+		})
+		if !parity {
+			return fmt.Errorf("workers=%d: sharded loop diverged from the serial loop (%d vs %d result bytes)",
+				w, len(b), len(serialBytes))
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

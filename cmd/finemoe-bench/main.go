@@ -49,6 +49,12 @@ func main() {
 			"worker pool for the cluster-sweep experiments (0 = GOMAXPROCS, 1 = serial); tables are identical either way")
 		searchBench = flag.String("searchbench", "",
 			"run the expert-map search micro-benchmarks and write the JSON baseline (BENCH_search.json) to this path, then exit")
+		clusterBench = flag.String("clusterbench", "",
+			"run the sharded cluster-loop benchmark (serial vs workers 1/2/4/NumCPU, byte-parity checked) and write the JSON baseline (BENCH_cluster.json) to this path, then exit")
+		clusterBenchN = flag.Int("clusterbench-n", 1_000_000,
+			"request count for -clusterbench (the committed baseline uses 1M; CI smoke uses a small value)")
+		clusterBenchInstances = flag.Int("clusterbench-instances", 32,
+			"fleet size for -clusterbench")
 		cpuProfile = flag.String("cpuprofile", "",
 			"write a pprof CPU profile of the experiment runs to this file")
 		memProfile = flag.String("memprofile", "",
@@ -100,6 +106,18 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Printf("wrote search benchmark baseline to %s\n", *searchBench)
+		}
+		writeMemProfile()
+		return
+	}
+
+	if *clusterBench != "" {
+		if err := runClusterBench(*clusterBench, *clusterBenchN, *clusterBenchInstances); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote cluster benchmark baseline to %s\n", *clusterBench)
 		}
 		writeMemProfile()
 		return

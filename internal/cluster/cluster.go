@@ -122,6 +122,12 @@ type Options struct {
 	// times before the parent's completion are clamped forward to it.
 	// Multi-turn session workloads ride on this hook (workload.Sessions).
 	FollowUp func(done serve.RequestMetrics, orig workload.Request) (workload.Request, bool)
+	// Workers selects the event-loop execution mode: <= 1 runs the serial
+	// shared-clock loop; > 1 shards instances across that many worker
+	// goroutines and advances them in deterministic epoch windows (see
+	// shard.go). Results are byte-identical across worker counts — the
+	// sharded loop executes exactly the serial event schedule.
+	Workers int
 }
 
 // Cluster is a fleet of serving instances sharing one virtual clock.
@@ -165,6 +171,16 @@ type Cluster struct {
 	// followUps counts injected requests.
 	followUps int
 
+	// Sharded-loop state (Workers > 1): the worker pool, the merge-sort
+	// scratch for worker step logs, and the fleet-wide minimum iteration
+	// duration bounding how soon an epoch can produce a follow-up
+	// injection (the min of Engine.MinIterationMS across the fleet,
+	// maintained as instances join).
+	workers  int
+	pool     *shardPool
+	mergeBuf []stepRecord
+	minIter  float64
+
 	now      float64
 	admitted int
 	rejected int
@@ -207,6 +223,8 @@ func New(opts Options) *Cluster {
 		nextTick:  opts.AutoscaleIntervalMS,
 		initial:   len(opts.Engines),
 		followUp:  opts.FollowUp,
+		workers:   opts.Workers,
+		minIter:   math.Inf(1),
 	}
 	if c.followUp != nil {
 		c.inFlightReqs = map[uint64]workload.Request{}
@@ -217,6 +235,9 @@ func New(opts Options) *Cluster {
 		}
 		c.instances = append(c.instances, &Instance{ID: i, Engine: e, idx: i})
 		c.evtPush(i)
+		if m := e.MinIterationMS(); m < c.minIter {
+			c.minIter = m
+		}
 	}
 	c.nextID = len(c.instances)
 	return c
@@ -319,8 +340,24 @@ func (c *Cluster) ActiveSize() int {
 // callers must not mutate).
 func (c *Cluster) ScaleEvents() []ScaleEvent { return c.events }
 
-// Instances returns the fleet (shared; callers must not mutate).
+// Instances returns the fleet (shared; callers must not mutate the slice).
+// The cluster caches each engine's next event time in its event heap,
+// refreshed at exactly the points the loop itself can change it (Offer's
+// Submit, Step, grow, epoch merges); a caller that mutates an engine
+// behind this accessor in a way that moves its next event time — e.g.
+// Submit or AdvanceClock outside Offer/Step — must call SyncEvents before
+// the next Offer/Step/RunTrace/Drain, or the loop may schedule against a
+// stale time.
 func (c *Cluster) Instances() []*Instance { return c.instances }
+
+// SyncEvents re-reads every instance's next event time into the event
+// heap. It is the repair step for external engine mutation (see
+// Instances); the loop's own paths never need it.
+func (c *Cluster) SyncEvents() {
+	for i := range c.instances {
+		c.refreshEvent(i)
+	}
+}
 
 // Now returns the cluster clock: the latest cluster-level event time.
 func (c *Cluster) Now() float64 { return c.now }
@@ -406,8 +443,16 @@ func (c *Cluster) collectFollowUps(in *Instance) {
 	if c.followUp == nil {
 		return
 	}
+	c.collectFollowUpsTo(in, in.Engine.CompletedCount())
+}
+
+// collectFollowUpsTo is collectFollowUps bounded to the completion-history
+// prefix [observed, upto): the sharded loop's merge step replays each
+// epoch's completions through it in serial event order, per-step slice by
+// per-step slice.
+func (c *Cluster) collectFollowUpsTo(in *Instance, upto int) {
 	done := in.Engine.Completed()
-	for _, m := range done[in.observed:] {
+	for _, m := range done[in.observed:upto] {
 		orig, ok := c.inFlightReqs[m.ID]
 		if !ok {
 			continue
@@ -422,7 +467,7 @@ func (c *Cluster) collectFollowUps(in *Instance) {
 		}
 		c.inject(fu)
 	}
-	in.observed = len(done)
+	in.observed = upto
 }
 
 // inject queues a follow-up arrival, keeping the queue sorted by arrival
@@ -475,6 +520,9 @@ func (c *Cluster) autoscale(nowMS float64) {
 		e.AdvanceClock(nowMS)
 		c.instances = append(c.instances, &Instance{ID: id, Engine: e, StartedMS: nowMS, idx: len(c.instances)})
 		c.evtPush(len(c.instances) - 1)
+		if m := e.MinIterationMS(); m < c.minIter {
+			c.minIter = m
+		}
 		c.events = append(c.events, ScaleEvent{
 			TimeMS: nowMS, Kind: "grow", Instance: id, ActiveAfter: len(fleet) + 1,
 		})
@@ -573,8 +621,15 @@ func (c *Cluster) RunTrace(trace []workload.Request) *Result {
 // run is the shared-clock loop behind RunTrace (with a trace) and Drain
 // (without): it merges trace arrivals, injected follow-ups, autoscale
 // ticks and instance events until the trace is exhausted, the injected
-// queue is empty, and every instance is drained.
+// queue is empty, and every instance is drained. With Workers > 1,
+// windows of consecutive instance events are executed as sharded parallel
+// epochs (shard.go); cluster-level events and the single-busy-instance
+// path stay on this goroutine, so the event schedule — and every result
+// byte — is identical across worker counts.
 func (c *Cluster) run(trace []workload.Request) {
+	if c.workers > 1 {
+		defer c.stopPool()
+	}
 	next := 0
 	for {
 		tArr, fromTrace := math.Inf(1), true
@@ -608,6 +663,28 @@ func (c *Cluster) run(trace []workload.Request) {
 			c.autoscale(tTick)
 			c.nextTick += c.tickMS
 			continue
+		}
+		// Instance events strictly before min(tArr, tTick): a parallel
+		// epoch when at least two instances have work in the window and
+		// follow-up injections provably cannot land inside it (they are
+		// clamped to their parent's completion, which is at least one
+		// minimum iteration after the earliest pending event; a zero
+		// minimum — a device with no per-layer overhead — disables
+		// sharding rather than risking a mid-epoch arrival).
+		if c.workers > 1 && (c.followUp == nil || c.minIter > 0) {
+			h := tArr
+			if tTick < h {
+				h = tTick
+			}
+			if c.followUp != nil {
+				if f := tInst + c.minIter; f < h {
+					h = f
+				}
+			}
+			if c.epochBusy(h) {
+				c.runEpoch(h)
+				continue
+			}
 		}
 		c.instances[which].Engine.Step(tInst)
 		c.refreshEvent(which)

@@ -1,0 +1,196 @@
+// Sharded deterministic event loop: the cluster's instances are
+// partitioned across persistent worker goroutines and advanced in
+// epoch-sized time windows, byte-identical to the serial loop.
+//
+// The serial loop (run) processes one event at a time in shared-clock
+// order. Its key structural property is that between two consecutive
+// cluster-level events (an arrival offer or an autoscale tick) the only
+// work is per-instance engine stepping — and engines are fully
+// independent: a Step touches only its own engine's state (queues, links,
+// caches, clock), never another instance or the cluster. So every
+// instance event in the open window before the next cluster-level event
+// can be executed concurrently, one shard per worker, and the resulting
+// engine states are bit-for-bit the states the serial schedule produces.
+//
+// Epoch horizon. An epoch advances every instance past all events
+// strictly before h = min(nextArrival, nextAutoscaleTick), the exact set
+// of events the serial loop would process before its next cluster-level
+// event (ties at h go to the cluster event, matching run's `<=`
+// comparisons). With a follow-up hook installed, a request completing
+// inside the epoch can inject a new arrival, which the serial loop would
+// offer at its injection time; to keep such arrivals outside the window,
+// h is additionally capped at tInst + minIter — no iteration can
+// complete, and hence no follow-up can be injected, before the earliest
+// pending instance event plus one minimum iteration duration
+// (Engine.MinIterationMS; injection times are clamped to the parent's
+// completion time, see collectFollowUps).
+//
+// Merge. After the barrier, cross-instance effects are applied serially
+// in the order the serial loop would have produced them. Worker step logs
+// are concatenated and stably sorted by (event time, instance index) —
+// per-instance logs are chronological and the serial loop's event
+// sequence is non-decreasing in time with lowest-index-wins ties, so the
+// sorted order IS the serial order. The follow-up hook is then consulted
+// per completed request in that order (hooks may close over shared state,
+// e.g. the scenario runner's session tracker, so call order is part of
+// the determinism contract), and stale heap entries of stepped instances
+// are refreshed. Arrivals, injections, autoscale ticks and fleet resizes
+// all stay on the coordinator, exactly as in the serial loop.
+package cluster
+
+import (
+	"slices"
+)
+
+// stepRecord logs one engine step taken inside an epoch, in the worker's
+// per-instance chronological order: the event time the step was taken at,
+// the instance's index, and the instance's completed-request count after
+// the step (so the merge can consult the follow-up hook per completion in
+// serial order).
+type stepRecord struct {
+	t    float64
+	idx  int32
+	done int
+}
+
+// shardPool is the persistent worker pool of one run: one goroutine per
+// worker, fed an epoch horizon per round over its own command channel and
+// answering on the shared done channel. All coordinator↔worker memory
+// (engine state, instance slice, step logs) is ordered by those channel
+// operations, so the sharded path is race-clean by construction.
+type shardPool struct {
+	workers int
+	cmd     []chan float64
+	done    chan struct{}
+	logs    [][]stepRecord
+}
+
+// ensurePool lazily starts the worker goroutines on the first epoch.
+func (c *Cluster) ensurePool() *shardPool {
+	if c.pool != nil {
+		return c.pool
+	}
+	p := &shardPool{
+		workers: c.workers,
+		cmd:     make([]chan float64, c.workers),
+		done:    make(chan struct{}, c.workers),
+		logs:    make([][]stepRecord, c.workers),
+	}
+	for w := range p.cmd {
+		p.cmd[w] = make(chan float64, 1)
+	}
+	c.pool = p
+	for w := 0; w < p.workers; w++ {
+		go c.shardWorker(w)
+	}
+	return p
+}
+
+// stopPool shuts the workers down at the end of a run; a later run
+// restarts them lazily.
+func (c *Cluster) stopPool() {
+	if c.pool == nil {
+		return
+	}
+	for _, ch := range c.pool.cmd {
+		close(ch)
+	}
+	c.pool = nil
+}
+
+// shardWorker advances the instances of shard w (instance index ≡ w mod
+// workers, a partition that is stable under fleet growth) past every
+// event strictly before each commanded horizon. Engines of a shard are
+// touched by this worker only, and only between a horizon receive and the
+// matching done send, so every access is channel-ordered against the
+// coordinator. With no follow-up hook installed steps need no logging —
+// instance events are fully independent — otherwise each step is recorded
+// so the merge can replay cross-instance effects in serial order.
+func (c *Cluster) shardWorker(w int) {
+	p := c.pool
+	for h := range p.cmd[w] {
+		if c.followUp == nil {
+			for idx := w; idx < len(c.instances); idx += p.workers {
+				c.instances[idx].Engine.AdvanceUntil(h)
+			}
+		} else {
+			log := p.logs[w][:0]
+			for idx := w; idx < len(c.instances); idx += p.workers {
+				e := c.instances[idx].Engine
+				for {
+					t := e.NextEventTime()
+					if t >= h {
+						break
+					}
+					e.Step(t)
+					log = append(log, stepRecord{t: t, idx: int32(idx), done: e.CompletedCount()})
+				}
+			}
+			p.logs[w] = log
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// epochBusy reports whether at least two instances have events strictly
+// before h — the threshold below which an epoch cannot win over the
+// serial single-step path. The second-earliest cached event time is by
+// heap shape one of the root's children, so the check is O(1).
+func (c *Cluster) epochBusy(h float64) bool {
+	if c.evtTimes[c.evtHeap[0]] >= h {
+		return false
+	}
+	if len(c.evtHeap) > 1 && c.evtTimes[c.evtHeap[1]] < h {
+		return true
+	}
+	return len(c.evtHeap) > 2 && c.evtTimes[c.evtHeap[2]] < h
+}
+
+// runEpoch advances every instance past all events strictly before h in
+// parallel, then merges cross-instance effects serially.
+func (c *Cluster) runEpoch(h float64) {
+	p := c.ensurePool()
+	for w := 0; w < p.workers; w++ {
+		p.cmd[w] <- h
+	}
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+	c.mergeEpoch(p)
+}
+
+// mergeEpoch restores the coordinator's view after an epoch: refresh the
+// event-heap entries the workers advanced past their cached times, and —
+// when a follow-up hook is installed — consult it per completed request
+// in the exact order the serial loop would have (worker logs stably
+// sorted by (event time, instance index); see the package comment for why
+// that reproduces the serial schedule).
+func (c *Cluster) mergeEpoch(p *shardPool) {
+	if c.followUp == nil {
+		for i := range c.instances {
+			c.refreshEvent(i)
+		}
+		return
+	}
+	m := c.mergeBuf[:0]
+	for _, log := range p.logs {
+		m = append(m, log...)
+	}
+	c.mergeBuf = m
+	slices.SortStableFunc(m, func(a, b stepRecord) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		default:
+			return int(a.idx) - int(b.idx)
+		}
+	})
+	for _, s := range m {
+		c.refreshEvent(int(s.idx))
+	}
+	for _, s := range m {
+		c.collectFollowUpsTo(c.instances[s.idx], s.done)
+	}
+}

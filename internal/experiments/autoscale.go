@@ -44,6 +44,7 @@ func autoscaledCluster(c *Context, cfg moe.Config) *cluster.Cluster {
 		MinInstances:        1,
 		MaxInstances:        autoscaleMax,
 		AutoscaleIntervalMS: 25,
+		Workers:             c.ClusterWorkers,
 	})
 }
 
@@ -76,6 +77,7 @@ func autoscaleRun(c *Context, cfg moe.Config, trace []workload.Request, fixed in
 			Engines:   clusterEngines(c, cfg, fixed),
 			Admission: cluster.NewAlwaysAdmit(),
 			Router:    cluster.NewLeastLoaded(),
+			Workers:   c.ClusterWorkers,
 		})
 	} else {
 		cl = autoscaledCluster(c, cfg)

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestClusterWorkersGoldenParity pins the fleet experiments against their
+// committed parity goldens with the event loop sharded inside every
+// simulated cluster. The goldens were recorded with the serial loop, so a
+// byte-for-byte match at each worker count proves Context.ClusterWorkers
+// is output-invariant all the way through the experiments layer — the
+// same guarantee TestShardedLoopByteParity pins on raw ClusterResults,
+// here on the figures a reader actually diffs.
+func TestClusterWorkersGoldenParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the fleet experiments per worker count; skipped under -short")
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, id := range []string{"scenariofig", "autoscalefig", "clusterfig"} {
+		want, err := os.ReadFile(filepath.Join("testdata", "parity", id+".csv"))
+		if err != nil {
+			t.Fatalf("%s: missing parity golden: %v", id, err)
+		}
+		for _, w := range workerCounts {
+			ctx := smallCtx()
+			ctx.ClusterWorkers = w
+			out, err := Run(ctx, id)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, w, err)
+			}
+			if got := out.Table.CSV(); got != string(want) {
+				t.Errorf("%s: table drifted from serial golden at cluster workers=%d\n--- want\n%s--- got\n%s",
+					id, w, want, got)
+			}
+		}
+	}
+}

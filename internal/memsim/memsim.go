@@ -181,11 +181,16 @@ func (l *Link) newTransfer() *Transfer {
 }
 
 // AdvanceTo processes the transfer schedule up to time now and returns the
-// transfers completed since the last drain, in completion order.
+// transfers completed since the last drain, in completion order. The
+// returned slice aliases the link's completion buffer, valid only until
+// the link's next scheduling activity (another AdvanceTo, OnDemand, or
+// Prefetch); callers that retain completions must copy them out. Reusing
+// the buffer keeps the drain cycle allocation-free in steady state — this
+// runs once per simulated layer in the serving hot path.
 func (l *Link) AdvanceTo(now float64) []Transfer {
 	l.schedule(now)
 	out := l.completed
-	l.completed = nil
+	l.completed = l.completed[:0]
 	return out
 }
 

@@ -6,7 +6,6 @@
 package serve
 
 import (
-	"fmt"
 	"math"
 
 	"finemoe/internal/cache"
@@ -175,7 +174,15 @@ type Engine struct {
 	admitScratch []*runReq
 	residScratch map[moe.ExpertRef]bool
 	gpuScratch   []float64
-	now          float64
+	// unionActive's reusable buffers: the deduplicated union, the flat
+	// per-request activation backing store with its offset table, the
+	// per-request slice windows, and the dedup set.
+	unionScratch  []moe.ExpertRef
+	activeScratch []moe.ExpertRef
+	activeOffs    []int
+	perReqScratch [][]moe.ExpertRef
+	seenScratch   map[moe.ExpertRef]bool
+	now           float64
 	// offline switches admission to RunOffline's lockstep fixed-batch
 	// semantics: a new batch is admitted only when the previous one fully
 	// drains, arrival times are ignored, and submission order is kept.
@@ -375,8 +382,8 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 		}
 		totalTokens += it.Tokens
 	}
-	//finemoe:alloc-ok one policy-hook closure per iteration, amortized over the batch's tokens
-	now = e.hook(now, func(t float64) float64 { return e.pol.StartIteration(iterViews, t) })
+	mark := e.syncLoadMS
+	now = e.applyHookDelay(now, e.pol.StartIteration(iterViews, now), mark)
 
 	if cap(e.layerScratch) < len(batch) {
 		e.layerScratch = make([]policy.LayerView, len(batch))
@@ -399,8 +406,8 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 				Hidden: it.Hidden[l],
 			}
 		}
-		//finemoe:alloc-ok one policy-hook closure per layer, amortized over the layer's expert compute
-		now = e.hook(now, func(t float64) float64 { return e.pol.OnGate(l, layerViews, t) })
+		mark = e.syncLoadMS
+		now = e.applyHookDelay(now, e.pol.OnGate(l, layerViews, now), mark)
 		e.drain(now)
 
 		// Resolve the batch's activated experts: residency snapshot
@@ -449,24 +456,26 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 
 	for _, r := range batch {
 		it := r.iters[r.next]
-		//finemoe:alloc-ok one policy-hook closure per finished request per iteration, amortized over the request's tokens
-		now = e.hook(now, func(t float64) float64 { return e.pol.EndIteration(r.req.ID, it, t) })
+		mark = e.syncLoadMS
+		now = e.applyHookDelay(now, e.pol.EndIteration(r.req.ID, it, now), mark)
 	}
 	return now
 }
 
-// hook runs a policy hook, applies its synchronous delay to the clock, and
-// attributes the portion spent inside SyncLoad to expert loading and the
-// remainder to prediction compute.
+// applyHookDelay folds one policy hook's synchronous delay into the clock,
+// attributing the portion spent inside SyncLoad to expert loading and the
+// remainder to prediction compute. markSyncLoad is e.syncLoadMS sampled
+// immediately before the hook ran; call sites invoke the policy method
+// directly (no closure) so the dispatch stays allocation-free.
 //
-//finemoe:allocok dispatches into the policy under test through a function value; policy-side allocations are the experiment's subject, not the serving loop's overhead
-func (e *Engine) hook(now float64, f func(now float64) float64) float64 {
-	mark := e.syncLoadMS
-	delay := f(now)
+//finemoe:hotpath
+func (e *Engine) applyHookDelay(now, delay, markSyncLoad float64) float64 {
 	if delay < 0 {
-		panic(fmt.Sprintf("serve: negative policy delay %v", delay))
+		// Constant message: a fmt.Sprintf here would put an allocating
+		// call on the zero-alloc decode path for the panic branch alone.
+		panic("serve: negative policy delay")
 	}
-	loadPart := e.syncLoadMS - mark
+	loadPart := e.syncLoadMS - markSyncLoad
 	predictPart := delay - loadPart
 	if predictPart < 0 {
 		predictPart = 0
@@ -478,25 +487,41 @@ func (e *Engine) hook(now float64, f func(now float64) float64) float64 {
 
 // unionActive returns the deduplicated activated experts at layer l across
 // the batch (first-activation order) and each request's own activation set.
+// Both returned slices alias engine scratch valid until the next call: the
+// per-request sets are windows into one flat buffer (sliced only after the
+// buffer is fully built, so growth cannot invalidate them).
 //
-//finemoe:allocok per-layer working-set extraction sized by the batch's activated experts, amortized over the layer's token compute
+//finemoe:hotpath
 func (e *Engine) unionActive(batch []*runReq, l int) ([]moe.ExpertRef, [][]moe.ExpertRef) {
-	var union []moe.ExpertRef
-	seen := map[moe.ExpertRef]bool{}
-	perReq := make([][]moe.ExpertRef, len(batch))
-	for i, r := range batch {
+	if e.seenScratch == nil {
+		e.seenScratch = make(map[moe.ExpertRef]bool, 2*e.cfg.TopK*len(batch))
+	}
+	clear(e.seenScratch)
+	seen := e.seenScratch
+	union := e.unionScratch[:0]
+	flat := e.activeScratch[:0]
+	offs := e.activeOffs[:0]
+	offs = append(offs, 0)
+	for _, r := range batch {
 		it := r.iters[r.next]
-		refs := make([]moe.ExpertRef, 0, len(it.Active[l]))
 		for _, j := range it.Active[l] {
 			ref := moe.ExpertRef{Layer: l, Expert: j}
-			refs = append(refs, ref)
+			flat = append(flat, ref)
 			if !seen[ref] {
 				seen[ref] = true
 				union = append(union, ref)
 			}
 		}
-		perReq[i] = refs
+		offs = append(offs, len(flat))
 	}
+	if cap(e.perReqScratch) < len(batch) {
+		e.perReqScratch = make([][]moe.ExpertRef, len(batch))
+	}
+	perReq := e.perReqScratch[:len(batch)]
+	for i := range perReq {
+		perReq[i] = flat[offs[i]:offs[i+1]]
+	}
+	e.unionScratch, e.activeScratch, e.activeOffs = union, flat, offs
 	return union, perReq
 }
 
@@ -696,6 +721,33 @@ func (e *Engine) Drain() float64 {
 	return e.now
 }
 
+// AdvanceUntil processes every event strictly before horizon and returns
+// the number of steps taken. It is the epoch-bounded drain of the sharded
+// cluster loop: a sequence of Step(t) calls at t = NextEventTime() while
+// t < horizon, so the resulting engine state is byte-identical to the
+// serial per-event schedule. Like Step, iterations are atomic in virtual
+// time — the clock may overshoot horizon, but no event at or after horizon
+// is started.
+//
+//finemoe:hotpath
+func (e *Engine) AdvanceUntil(horizon float64) int {
+	steps := 0
+	for e.NextEventTime() < horizon && e.step() {
+		steps++
+	}
+	return steps
+}
+
+// MinIterationMS is a lower bound on the virtual duration of any single
+// iteration on this engine: every layer pays at least the device's
+// per-layer framework overhead, and every other term (reads, FLOPs, loads,
+// policy delays) is non-negative. The sharded cluster loop uses it to
+// bound how soon a request completed inside an epoch can inject a
+// follow-up arrival.
+func (e *Engine) MinIterationMS() float64 {
+	return float64(e.cfg.Layers) * e.opts.GPU.PerLayerOverheadMS
+}
+
 // Finalize aggregates everything served so far into a Result.
 func (e *Engine) Finalize() *Result {
 	return e.finalize(e.completed, e.now)
@@ -717,7 +769,8 @@ func (e *Engine) admitOne(arrival float64) *runReq {
 	}
 	r := &runReq{req: q, iters: iters}
 	r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: arrival, StartMS: e.now, OutputTokens: q.OutputTokens}
-	e.now = e.hook(e.now, func(t float64) float64 { return e.pol.StartRequest(q.ID, t) })
+	mark := e.syncLoadMS
+	e.now = e.applyHookDelay(e.now, e.pol.StartRequest(q.ID, e.now), mark)
 	e.running = append(e.running, r)
 	return r
 }

@@ -2,8 +2,11 @@ package workload
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
+
+	"finemoe/internal/rng"
 )
 
 // testProcesses enumerates every arrival process at a common 4 req/s mean
@@ -130,6 +133,67 @@ func TestArrivalDeterminism(t *testing.T) {
 		}
 		if same {
 			t.Errorf("%s: different seeds produced identical timelines", ap.Name())
+		}
+	}
+}
+
+// TestThinLongHorizonAccuracy: thin's compensated clock stays within a
+// rounding of the exact (200-bit) prefix sum of its gap stream at a
+// million-candidate horizon, and is never worse than naive float64
+// accumulation. A flat rate function makes every candidate an arrival, so
+// output i is exactly prefix sum i and the reference can replay the same
+// rng draws (gap, then acceptance) side by side.
+func TestThinLongHorizonAccuracy(t *testing.T) {
+	const n = 1_000_000
+	const rateMax = 8.0
+	flat := func(float64) float64 { return rateMax }
+	times := thin(n, 99, rateMax, flat)
+	if len(times) != n {
+		t.Fatalf("flat-rate thinning dropped candidates: %d of %d", len(times), n)
+	}
+
+	r := rng.New(99)
+	exact := new(big.Float).SetPrec(200)
+	gap := new(big.Float).SetPrec(200)
+	var naive float64
+	for i := 0; i < n; i++ {
+		g := r.Exp(rateMax)
+		r.Float64() // thin's acceptance draw
+		naive += g
+		exact.Add(exact, gap.SetFloat64(g))
+		if i == n/2 || i == n-1 {
+			ref, _ := exact.Float64()
+			got := times[i] / 1000
+			kahanErr := math.Abs(got - ref)
+			naiveErr := math.Abs(naive - ref)
+			if kahanErr > naiveErr {
+				t.Errorf("at %d: compensated error %.3g exceeds naive %.3g", i, kahanErr, naiveErr)
+			}
+			// Within a few ULPs of the exact sum, horizon-independent.
+			if bound := 4 * (math.Nextafter(ref, math.Inf(1)) - ref); kahanErr > bound {
+				t.Errorf("at %d: compensated clock off by %.3g (> %.3g)", i, kahanErr, bound)
+			}
+		}
+	}
+}
+
+// TestThinLongHorizonDeterminism: the thinned processes reproduce a
+// 200k-arrival timeline byte-identically — the long-horizon variant of
+// TestArrivalDeterminism, guarding the 1M-scale cluster benches.
+func TestThinLongHorizonDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon determinism sweep")
+	}
+	for _, ap := range []ArrivalProcess{DiurnalSwing(4), FlashSpike(4)} {
+		a := ap.Times(200_000, 7)
+		b := ap.Times(200_000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: long-horizon timelines diverge at %d", ap.Name(), i)
+			}
+		}
+		if a[len(a)-1] <= a[0] {
+			t.Fatalf("%s: degenerate long-horizon timeline", ap.Name())
 		}
 	}
 }
