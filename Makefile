@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short lint vet-lint fmt clusterbench
+.PHONY: build test test-short lint vet-lint fmt clusterbench faultfig
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,8 @@ fmt:
 # workers 1/2/4/NumCPU, byte-parity checked, honest wall-clock ratios.
 clusterbench:
 	$(GO) run ./cmd/finemoe-bench -clusterbench BENCH_cluster.json
+
+# The fault gauntlet at small scale: crash/brownout/stall scenarios with
+# resilience off vs on (see internal/experiments/faults.go).
+faultfig:
+	$(GO) run ./cmd/finemoe-bench -exp faultfig -scale small

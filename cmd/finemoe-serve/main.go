@@ -50,6 +50,23 @@
 //
 //	finemoe-serve -model tiny -instances 2 -router semantic -autoscale \
 //	  -replay 64 -arrival mmpp -arrival-rate 8
+//
+// Replay can also rehearse failures: -faults injects a deterministic
+// fault schedule (compact syntax, see internal/faults.ParsePlan) and the
+// resilience flags arm request-level fault tolerance — crash re-queue +
+// cold replacement, bounded retries with deterministic backoff, optional
+// per-request timeouts and hedged re-dispatch. The report then carries
+// availability accounting (failed/lost/retries/goodput):
+//
+//	finemoe-serve -model tiny -instances 3 -replay 64 \
+//	  -faults "crash@2000:i1:d400,brownout@1000+2000:pcie:x0.25:i2" \
+//	  -resilience -retries 3 -hedge-ms 1500
+//
+// The live HTTP server exposes the same failure vocabulary operationally:
+// POST /v1/faults {"instance": 1, "action": "crash"} fails a replica in
+// place (restore replaces it cold), /healthz reports per-replica
+// healthy/degraded/crashed/draining states, and crashed replicas leave
+// the routable set until restored.
 package main
 
 import (
@@ -61,6 +78,7 @@ import (
 	"strings"
 
 	"finemoe/internal/cluster"
+	"finemoe/internal/faults"
 	"finemoe/internal/httpserve"
 	"finemoe/internal/memsim"
 	"finemoe/internal/moe"
@@ -111,6 +129,12 @@ func main() {
 		replayN    = flag.Int("replay", 0, "replay N synthetic requests through the pipeline and exit instead of serving")
 		arrival    = flag.String("arrival", "poisson", "replay arrival process: poisson|mmpp|diurnal|flash (with -replay)")
 		arrRate    = flag.Float64("arrival-rate", 2.91, "replay mean arrival rate in req/s (with -replay)")
+		faultsArg  = flag.String("faults", "", `replay fault plan, e.g. "crash@2000:i1:d400,brownout@1000+2000:pcie:x0.25" (with -replay)`)
+		resilient  = flag.Bool("resilience", false, "arm request-level fault tolerance in replay: crash re-queue + cold replacement")
+		retries    = flag.Int("retries", 3, "max retry attempts per request (with -resilience)")
+		timeoutMS  = flag.Float64("timeout-ms", 0, "per-request timeout before retry, ms (with -resilience; 0 = none)")
+		hedgeMS    = flag.Float64("hedge-ms", 0, "hedged re-dispatch delay, ms (with -resilience; 0 = no hedging)")
+		retryFrac  = flag.Float64("retry-budget", 0, "per-tenant retry budget as a fraction of offered requests (with -resilience; 0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -140,6 +164,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		var fspec *scenarios.FaultSpec
+		if *faultsArg != "" || *resilient {
+			fspec = &scenarios.FaultSpec{}
+			if *faultsArg != "" {
+				plan, err := faults.ParsePlan(*faultsArg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				fspec.Crashes = plan.Crashes
+				fspec.Brownouts = plan.Brownouts
+				fspec.Stalls = plan.Stalls
+			}
+			if *resilient {
+				fspec.Resilience = cluster.ResilienceOptions{
+					Enabled:         true,
+					MaxRetries:      *retries,
+					TimeoutMS:       *timeoutMS,
+					HedgeAfterMS:    *hedgeMS,
+					RetryBudgetFrac: *retryFrac,
+					RequeueOnCrash:  true,
+					ReplaceOnCrash:  true,
+					Seed:            *seed,
+				}
+			}
+		}
 		runner := scenarios.NewRunner(scenarios.Options{
 			Model: cfg, GPU: memsim.RTX3090(), NumGPUs: *gpus, Seed: *seed,
 			CacheBytes: cacheBytes,
@@ -160,12 +210,18 @@ func main() {
 				Autoscale:    *autoscale,
 				MinInstances: *minInst, MaxInstances: *maxInst,
 			},
+			Faults: fspec,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println(rep)
+		if rep.Faulted {
+			fmt.Printf("faults: crashes=%d failed=%d lost_in_flight=%d retries=%d hedged_wins=%d degraded=%.0fms goodput=%.4f\n",
+				rep.Crashes, rep.Failed, rep.Lost, rep.Retries, rep.HedgedWins,
+				rep.DegradedMS, rep.Goodput)
+		}
 		return
 	}
 

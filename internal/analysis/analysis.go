@@ -337,6 +337,7 @@ var SimPackages = []string{
 	"internal/core",
 	"internal/serve",
 	"internal/cluster",
+	"internal/faults",
 	"internal/cache",
 	"internal/memsim",
 	"internal/moe",

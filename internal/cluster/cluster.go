@@ -16,6 +16,7 @@ package cluster
 import (
 	"math"
 
+	"finemoe/internal/faults"
 	"finemoe/internal/serve"
 	"finemoe/internal/workload"
 )
@@ -39,6 +40,14 @@ type Instance struct {
 	// RetiredMS is the cluster time of the shrink decision (meaningful
 	// only when Retiring).
 	RetiredMS float64
+	// Crashed marks an instance halted by a fault-plan crash; CrashedMS
+	// is the failure time. The fleet keeps routing to a crashed instance
+	// until Detected (the fault plan's detection latency elapses), when
+	// it leaves the routable fleet and its stranded requests are
+	// harvested.
+	Crashed   bool
+	CrashedMS float64
+	Detected  bool
 
 	// observed is the prefix of the engine's completion history the
 	// cluster has already consulted for follow-up injection.
@@ -128,6 +137,15 @@ type Options struct {
 	// shard.go). Results are byte-identical across worker counts — the
 	// sharded loop executes exactly the serial event schedule.
 	Workers int
+	// FaultPlan, when non-empty, injects crashes, link brownouts and
+	// expert-load stalls at fixed shared-clock times (see internal/faults
+	// and faults.go). An empty plan leaves the run byte-identical to a
+	// fault-free cluster.
+	FaultPlan *faults.Plan
+	// Resilience configures request-level fault tolerance: timeouts,
+	// deterministic-backoff retries, hedging, per-tenant retry budgets
+	// and crash requeue/replacement (see resilience.go).
+	Resilience ResilienceOptions
 }
 
 // Cluster is a fleet of serving instances sharing one virtual clock.
@@ -181,6 +199,30 @@ type Cluster struct {
 	mergeBuf []stepRecord
 	minIter  float64
 
+	// Fault-plan state: the compiled event stream, a cursor into it, the
+	// run's fault log, applied degradation windows, and the crash count.
+	faultEvents []faults.Event
+	faultNext   int
+	flog        []FaultRecord
+	degraded    []degWindow
+	crashes     int
+
+	// Resilience state (resOn): request sagas keyed by copy ID (lookups
+	// and deletes only — never ranged), the pending reaction queue sorted
+	// by (time, seq), per-tenant retry budgets, completions that lost a
+	// hedge/retry race, and the availability counters.
+	resOn        bool
+	res          ResilienceOptions
+	records      map[uint64]*resRecord
+	resEvents    []resEvent
+	resSeq       int
+	budgets      map[string]*tenantBudget
+	stale        map[staleKey]bool
+	failedReqs   int
+	retries      int
+	hedgedWins   int
+	lostInFlight int
+
 	now      float64
 	admitted int
 	rejected int
@@ -228,6 +270,32 @@ func New(opts Options) *Cluster {
 	}
 	if c.followUp != nil {
 		c.inFlightReqs = map[uint64]workload.Request{}
+	}
+	if !opts.FaultPlan.Empty() {
+		evs, err := opts.FaultPlan.Compile()
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+		c.faultEvents = evs
+	}
+	if opts.Resilience.Enabled {
+		c.resOn = true
+		c.res = opts.Resilience
+		if c.res.BackoffBaseMS <= 0 {
+			c.res.BackoffBaseMS = 50
+		}
+		if c.res.BackoffMaxMS <= 0 {
+			c.res.BackoffMaxMS = 2000
+		}
+		if c.res.JitterFrac == 0 {
+			c.res.JitterFrac = 0.2
+		}
+		c.records = map[uint64]*resRecord{}
+		c.budgets = map[string]*tenantBudget{}
+		c.stale = map[staleKey]bool{}
+	} else {
+		// Crash replacement works without request tracking.
+		c.res.ReplaceOnCrash = opts.Resilience.ReplaceOnCrash
 	}
 	for i, e := range opts.Engines {
 		if e == nil {
@@ -325,11 +393,12 @@ func (c *Cluster) refreshEvent(idx int) {
 // retiring ones.
 func (c *Cluster) Size() int { return len(c.instances) }
 
-// ActiveSize returns the routable fleet size (instances not retiring).
+// ActiveSize returns the routable fleet size (instances neither retiring
+// nor detectedly crashed).
 func (c *Cluster) ActiveSize() int {
 	n := 0
 	for _, in := range c.instances {
-		if !in.Retiring {
+		if !in.Retiring && !in.Detected {
 			n++
 		}
 	}
@@ -381,11 +450,13 @@ func (c *Cluster) States() []InstanceState {
 // activeStates snapshots the routable fleet — the view admission, routing
 // and autoscaling observe. Entries are ordered by ascending instance ID
 // (creation order), and each entry's ID is the instance's stable
-// identity, not its position.
+// identity, not its position. A crashed instance stays routable until
+// its crash is detected — the fleet cannot act on what it has not yet
+// observed.
 func (c *Cluster) activeStates() []InstanceState {
 	out := make([]InstanceState, 0, len(c.instances))
 	for _, in := range c.instances {
-		if !in.Retiring {
+		if !in.Retiring && !in.Detected {
 			out = append(out, in.State())
 		}
 	}
@@ -412,6 +483,12 @@ func (c *Cluster) Offer(req workload.Request) int {
 		c.now = t
 	}
 	fleet := c.activeStates()
+	if len(fleet) == 0 {
+		// Every instance crashed or retired (reachable only under a fault
+		// plan): there is nowhere to route, so the request is shed.
+		c.rejected++
+		return -1
+	}
 	if !c.admission.Admit(req, c.now, fleet) {
 		c.rejected++
 		return -1
@@ -425,7 +502,9 @@ func (c *Cluster) Offer(req workload.Request) int {
 	in.Submitted++
 	in.Engine.Submit(req)
 	c.refreshEvent(in.idx)
-	if c.followUp != nil {
+	if c.resOn {
+		c.trackDispatch(req, in)
+	} else if c.followUp != nil {
 		c.inFlightReqs[req.ID] = req
 	}
 	return in.ID
@@ -435,24 +514,33 @@ func (c *Cluster) Offer(req workload.Request) int {
 // far.
 func (c *Cluster) FollowUps() int { return c.followUps }
 
-// collectFollowUps consults the FollowUp hook for every request the
-// instance completed since the last call and queues resulting follow-up
-// arrivals. Called after every engine step, so injection order — and with
-// it the whole run — stays deterministic.
-func (c *Cluster) collectFollowUps(in *Instance) {
-	if c.followUp == nil {
+// observeCompletions reacts to every request the instance completed
+// since the last call. Called after every engine step, so observation
+// order — and with it the whole run — stays deterministic. With
+// resilience on, each completion is scheduled as a resilience event at
+// its own completion time rather than applied here: cross-instance
+// effects (hedge-loser cancellation, follow-up injection) then happen at
+// a pinned point of the shared-clock schedule, identical between the
+// serial and sharded loops. Otherwise the FollowUp hook (if any) is
+// consulted directly, as before.
+func (c *Cluster) observeCompletions(in *Instance) {
+	if c.followUp == nil && !c.resOn {
 		return
 	}
-	c.collectFollowUpsTo(in, in.Engine.CompletedCount())
+	c.observeCompletionsTo(in, in.Engine.CompletedCount())
 }
 
-// collectFollowUpsTo is collectFollowUps bounded to the completion-history
-// prefix [observed, upto): the sharded loop's merge step replays each
-// epoch's completions through it in serial event order, per-step slice by
-// per-step slice.
-func (c *Cluster) collectFollowUpsTo(in *Instance, upto int) {
+// observeCompletionsTo is observeCompletions bounded to the
+// completion-history prefix [observed, upto): the sharded loop's merge
+// step replays each epoch's completions through it in serial event
+// order, per-step slice by per-step slice.
+func (c *Cluster) observeCompletionsTo(in *Instance, upto int) {
 	done := in.Engine.Completed()
 	for _, m := range done[in.observed:upto] {
+		if c.resOn {
+			c.scheduleRes(resEvent{t: m.EndMS, k: rkComplete, instIdx: int32(in.idx), m: m})
+			continue
+		}
 		orig, ok := c.inFlightReqs[m.ID]
 		if !ok {
 			continue
@@ -584,7 +672,7 @@ func (c *Cluster) Step(until float64) bool {
 	}
 	did := c.instances[which].Engine.Step(until)
 	c.refreshEvent(which)
-	c.collectFollowUps(c.instances[which])
+	c.observeCompletions(c.instances[which])
 	return did
 }
 
@@ -640,12 +728,42 @@ func (c *Cluster) run(trace []workload.Request) {
 			tArr, fromTrace = c.injected[0].ArrivalMS, false
 		}
 		tInst, which := c.nextInstanceEvent()
-		if math.IsInf(tArr, 1) && which < 0 {
+		tFault := math.Inf(1)
+		if c.faultNext < len(c.faultEvents) {
+			tFault = c.faultEvents[c.faultNext].TimeMS
+		}
+		tRes := math.Inf(1)
+		if len(c.resEvents) > 0 {
+			tRes = c.resEvents[0].t
+		}
+		idle := math.IsInf(tArr, 1) && which < 0
+		if idle && math.IsInf(tFault, 1) && math.IsInf(tRes, 1) {
 			break
 		}
 		tTick := math.Inf(1)
-		if c.scaler != nil {
+		if c.scaler != nil && !idle {
+			// idle freezes ticks: with no arrivals and no instance work
+			// left, only trailing fault/resilience events remain, and the
+			// serial loop of a fault-free run would already have exited —
+			// letting ticks run on would append unbounded idle shrinks.
 			tTick = c.nextTick
+		}
+		// Event priority at equal times: fault → resilience → arrival
+		// (trace before injected) → autoscale tick → instance. Faults act
+		// before anything can observe the instant's state, resilience
+		// reactions precede the arrivals they may race with, and the
+		// pre-existing arrival → tick → instance order is unchanged.
+		if tFault <= tRes && tFault <= tArr && tFault <= tTick && tFault <= tInst {
+			c.applyFault(c.faultEvents[c.faultNext])
+			c.faultNext++
+			continue
+		}
+		if tRes <= tArr && tRes <= tTick && tRes <= tInst {
+			if tRes > c.now {
+				c.now = tRes
+			}
+			c.processResEvent(c.popResEvent())
+			continue
 		}
 		if tArr <= tTick && tArr <= tInst {
 			if fromTrace {
@@ -664,19 +782,26 @@ func (c *Cluster) run(trace []workload.Request) {
 			c.nextTick += c.tickMS
 			continue
 		}
-		// Instance events strictly before min(tArr, tTick): a parallel
-		// epoch when at least two instances have work in the window and
-		// follow-up injections provably cannot land inside it (they are
-		// clamped to their parent's completion, which is at least one
+		// Instance events strictly before every cluster-level source: a
+		// parallel epoch when at least two instances have work in the
+		// window and completion reactions provably cannot land inside it
+		// (follow-up injections and resilience completion events are
+		// pinned to their parent's completion time, which is at least one
 		// minimum iteration after the earliest pending event; a zero
 		// minimum — a device with no per-layer overhead — disables
-		// sharding rather than risking a mid-epoch arrival).
-		if c.workers > 1 && (c.followUp == nil || c.minIter > 0) {
+		// sharding rather than risking a mid-epoch event).
+		if c.workers > 1 && ((c.followUp == nil && !c.resOn) || c.minIter > 0) {
 			h := tArr
 			if tTick < h {
 				h = tTick
 			}
-			if c.followUp != nil {
+			if tFault < h {
+				h = tFault
+			}
+			if tRes < h {
+				h = tRes
+			}
+			if c.followUp != nil || c.resOn {
 				if f := tInst + c.minIter; f < h {
 					h = f
 				}
@@ -688,6 +813,6 @@ func (c *Cluster) run(trace []workload.Request) {
 		}
 		c.instances[which].Engine.Step(tInst)
 		c.refreshEvent(which)
-		c.collectFollowUps(c.instances[which])
+		c.observeCompletions(c.instances[which])
 	}
 }

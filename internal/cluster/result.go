@@ -20,6 +20,9 @@ type InstanceResult struct {
 	// RetiredMS is the shrink-decision time.
 	Retired   bool
 	RetiredMS float64
+	// Crashed reports a fault-plan crash; CrashedMS is the failure time.
+	Crashed   bool
+	CrashedMS float64
 	// Result is the instance engine's own aggregation.
 	Result *serve.Result
 }
@@ -58,12 +61,30 @@ type Result struct {
 	PeakInstances int
 	// InstanceHours is the fleet's provisioned capacity in virtual
 	// instance-hours: each instance counts from when it joined until it
-	// finished draining (retired) or until the fleet makespan (active),
-	// so an autoscaled run that shrinks early costs fewer instance-hours
-	// than a fixed fleet of its peak size.
+	// finished draining (retired), stopped serving (crashed) or until the
+	// fleet makespan (active), so an autoscaled run that shrinks early
+	// costs fewer instance-hours than a fixed fleet of its peak size.
 	InstanceHours float64
 	// WallClockMS is the fleet makespan: the latest instance clock.
 	WallClockMS float64
+
+	// Availability accounting (all zero on fault-free runs).
+	//
+	// FailedRequests counts admitted requests that never completed:
+	// stranded on a crashed instance without requeue, or exhausted of
+	// retries/budget after timeouts. Retries counts re-dispatched copies
+	// (timeout backoff retries and crash requeues); HedgedWins counts
+	// requests whose speculative hedge copy finished first; LostInFlight
+	// counts requests harvested from crashed instances (including ones
+	// later recovered by requeue). Crashes counts applied crash events.
+	FailedRequests, Retries, HedgedWins, LostInFlight, Crashes int
+	// DegradedMS integrates brownout/stall exposure: the sum over applied
+	// degradation windows of (window length × instances degraded),
+	// clipped to the fleet makespan.
+	DegradedMS float64
+	// FaultLog is the run's deterministic fault/resilience event stream,
+	// in processing order (empty without a fault plan).
+	FaultLog []FaultRecord
 }
 
 // Finalize aggregates everything served so far into a cluster Result
@@ -81,16 +102,30 @@ func (c *Cluster) Finalize() *Result {
 	if c.scaler != nil {
 		res.Autoscaler = c.scaler.Name()
 	}
+	res.FailedRequests = c.failedReqs
+	res.Retries = c.retries
+	res.HedgedWins = c.hedgedWins
+	res.LostInFlight = c.lostInFlight
+	res.Crashes = c.crashes
+	res.FaultLog = c.flog
 	var ttfts, tpots, e2es []float64
 	for _, in := range c.instances {
 		ir := in.Engine.Finalize()
 		res.Instances = append(res.Instances, InstanceResult{
 			ID: in.ID, Submitted: in.Submitted,
 			StartedMS: in.StartedMS, Retired: in.Retiring, RetiredMS: in.RetiredMS,
+			Crashed: in.Crashed, CrashedMS: in.CrashedMS,
 			Result: ir,
 		})
-		res.Served += len(ir.Requests)
 		for _, q := range ir.Requests {
+			if len(c.stale) > 0 && c.stale[staleKey{inst: in.ID, id: q.ID}] {
+				// The losing completion of a hedge/retry race: its request
+				// was already served elsewhere, so it does not count again
+				// toward fleet service or latency aggregates (it stays in
+				// the instance's own Result).
+				continue
+			}
+			res.Served++
 			ttfts = append(ttfts, q.TTFTms)
 			e2es = append(e2es, q.E2Ems)
 			if q.OutputTokens > 1 {
@@ -124,7 +159,12 @@ func (c *Cluster) Finalize() *Result {
 	}
 	for _, in := range c.instances {
 		end := res.WallClockMS
-		if in.Retiring {
+		if in.Crashed {
+			// A crashed instance stops serving (and costing capacity) at
+			// the failure itself; detection latency only delays the fleet's
+			// reaction.
+			end = in.CrashedMS
+		} else if in.Retiring {
 			// A retired instance stops costing capacity once it has both
 			// been told to drain and finished its last request.
 			end = in.RetiredMS
@@ -135,6 +175,16 @@ func (c *Cluster) Finalize() *Result {
 		if span := end - in.StartedMS; span > 0 {
 			res.InstanceHours += span / 3.6e6
 		}
+	}
+	for _, w := range c.degraded {
+		start, end := w.start, w.end
+		if start > res.WallClockMS {
+			start = res.WallClockMS
+		}
+		if end > res.WallClockMS {
+			end = res.WallClockMS
+		}
+		res.DegradedMS += (end - start) * float64(w.n)
 	}
 	return res
 }

@@ -13,17 +13,19 @@
 // engine states are bit-for-bit the states the serial schedule produces.
 //
 // Epoch horizon. An epoch advances every instance past all events
-// strictly before h = min(nextArrival, nextAutoscaleTick), the exact set
-// of events the serial loop would process before its next cluster-level
-// event (ties at h go to the cluster event, matching run's `<=`
-// comparisons). With a follow-up hook installed, a request completing
-// inside the epoch can inject a new arrival, which the serial loop would
-// offer at its injection time; to keep such arrivals outside the window,
-// h is additionally capped at tInst + minIter — no iteration can
-// complete, and hence no follow-up can be injected, before the earliest
-// pending instance event plus one minimum iteration duration
-// (Engine.MinIterationMS; injection times are clamped to the parent's
-// completion time, see collectFollowUps).
+// strictly before h = min(nextArrival, nextAutoscaleTick, nextFault,
+// nextResilienceEvent), the exact set of events the serial loop would
+// process before its next cluster-level event (ties at h go to the
+// cluster event, matching run's `<=` comparisons). With a follow-up hook
+// or resilience installed, a request completing inside the epoch can
+// inject a new arrival or schedule a resilience reaction, which the
+// serial loop would process at the completion's own time; to keep such
+// events outside the window, h is additionally capped at tInst + minIter
+// — no iteration can complete, and hence no completion reaction can come
+// due, before the earliest pending instance event plus one minimum
+// iteration duration (Engine.MinIterationMS; injection and reaction
+// times are pinned to the parent's completion time, see
+// observeCompletions).
 //
 // Merge. After the barrier, cross-instance effects are applied serially
 // in the order the serial loop would have produced them. Worker step logs
@@ -103,13 +105,14 @@ func (c *Cluster) stopPool() {
 // event strictly before each commanded horizon. Engines of a shard are
 // touched by this worker only, and only between a horizon receive and the
 // matching done send, so every access is channel-ordered against the
-// coordinator. With no follow-up hook installed steps need no logging —
-// instance events are fully independent — otherwise each step is recorded
-// so the merge can replay cross-instance effects in serial order.
+// coordinator. With no follow-up hook and no resilience installed steps
+// need no logging — instance events are fully independent — otherwise
+// each step is recorded so the merge can replay cross-instance effects
+// in serial order.
 func (c *Cluster) shardWorker(w int) {
 	p := c.pool
 	for h := range p.cmd[w] {
-		if c.followUp == nil {
+		if c.followUp == nil && !c.resOn {
 			for idx := w; idx < len(c.instances); idx += p.workers {
 				c.instances[idx].Engine.AdvanceUntil(h)
 			}
@@ -166,7 +169,7 @@ func (c *Cluster) runEpoch(h float64) {
 // sorted by (event time, instance index); see the package comment for why
 // that reproduces the serial schedule).
 func (c *Cluster) mergeEpoch(p *shardPool) {
-	if c.followUp == nil {
+	if c.followUp == nil && !c.resOn {
 		for i := range c.instances {
 			c.refreshEvent(i)
 		}
@@ -191,6 +194,6 @@ func (c *Cluster) mergeEpoch(p *shardPool) {
 		c.refreshEvent(int(s.idx))
 	}
 	for _, s := range m {
-		c.collectFollowUpsTo(c.instances[s.idx], s.done)
+		c.observeCompletionsTo(c.instances[s.idx], s.done)
 	}
 }

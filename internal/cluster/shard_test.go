@@ -101,6 +101,9 @@ func shardVariants() []shardVariant {
 			})
 			return c, trace
 		}},
+		{"faults", func(workers int) (*Cluster, []workload.Request) {
+			return faultCluster(workers, fullResilience())
+		}},
 		{"staged", func(workers int) (*Cluster, []workload.Request) {
 			m := moe.NewModel(moe.Tiny(), 19)
 			c := New(Options{

@@ -40,6 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-sync", "abl-ep", "abl-dedup",
 		"abl-coverage", "abl-evict", "abl-prefilter",
 		"clusterfig", "autoscalefig", "scenariofig", "searchfig", "memfig",
+		"faultfig",
 	}
 	have := map[string]bool{}
 	for _, e := range List() {

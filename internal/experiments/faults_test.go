@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"finemoe/internal/scenarios"
+)
+
+// faultReports runs the fault gauntlet once and indexes the reports by
+// "scenario/resilience" cell name.
+func faultReports(t *testing.T, c *Context) map[string]*scenarios.Report {
+	t.Helper()
+	cells := faultMatrix(c)
+	scs := make([]scenarios.Scenario, len(cells))
+	for i, cell := range cells {
+		scs[i] = cell.sc
+	}
+	reports, err := scenarioRunner(c).RunMatrix(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*scenarios.Report, len(reports))
+	for i, rep := range reports {
+		byName[cells[i].sc.Name] = rep
+	}
+	return byName
+}
+
+// TestFaultFigAcceptance pins the experiment's headline claims: under
+// the crash+brownout+stall gauntlet, the resilience policy strictly
+// beats the unprotected fleet on goodput and failed-request fraction;
+// armed-but-idle resilience changes no outcome; hedging wins exist in
+// the brownout cell; and the whole sweep — fault event accounting
+// included — is byte-deterministic run to run.
+func TestFaultFigAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full fault gauntlet twice; skipped under -short")
+	}
+	c := smallCtx()
+	reps := faultReports(t, c)
+
+	frac := func(rep *scenarios.Report) float64 {
+		return float64(rep.Failed) / float64(rep.Requests)
+	}
+	off, on := reps["gauntlet/off"], reps["gauntlet/on"]
+	if off.Failed == 0 || off.Lost == 0 {
+		t.Fatalf("unprotected gauntlet lost nothing (failed=%d lost=%d): fault schedule too gentle to test resilience",
+			off.Failed, off.Lost)
+	}
+	if on.Goodput <= float64(off.Served)/float64(off.Requests) {
+		t.Fatalf("resilience-on goodput %.4f does not beat resilience-off %.4f",
+			on.Goodput, float64(off.Served)/float64(off.Requests))
+	}
+	if frac(on) >= frac(off) {
+		t.Fatalf("resilience-on failed fraction %.4f not below resilience-off %.4f", frac(on), frac(off))
+	}
+	if on.Crashes != 1 || on.Retries == 0 {
+		t.Fatalf("gauntlet/on crashes=%d retries=%d: expected one crash recovered via retries",
+			on.Crashes, on.Retries)
+	}
+	for name, rep := range reps {
+		if rep.Served+rep.Failed != rep.Admitted {
+			t.Errorf("%s: served %d + failed %d != admitted %d", name, rep.Served, rep.Failed, rep.Admitted)
+		}
+	}
+
+	// Armed-but-idle resilience is free: the none/ pair differs only in
+	// the policy being enabled, and every outcome matches.
+	base, armed := reps["none/off"], reps["none/on"]
+	if base.Served != armed.Served || base.TTFT != armed.TTFT || base.E2E != armed.E2E ||
+		armed.Failed != 0 || armed.Retries != 0 || armed.HedgedWins != 0 {
+		t.Fatalf("armed-but-idle resilience changed outcomes:\noff: %+v\non:  %+v", base, armed)
+	}
+
+	// The brownout cell exercises hedged re-dispatch: some hedges must
+	// win, and every offered request is still served exactly once.
+	bro := reps["brownout/on"]
+	if bro.HedgedWins == 0 {
+		t.Fatal("brownout/on recorded no hedged wins")
+	}
+	if bro.Served != bro.Requests {
+		t.Fatalf("brownout/on served %d of %d despite hedging", bro.Served, bro.Requests)
+	}
+
+	// Byte-determinism: a second full sweep serializes identically,
+	// fault and availability accounting included.
+	again := faultReports(t, c)
+	for name, rep := range reps {
+		if got, want := again[name].Serialize(), rep.Serialize(); got != want {
+			t.Fatalf("%s: rerun diverged\n--- first\n%s--- second\n%s", name, want, got)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package faults declares seed-deterministic fault plans for the cluster
+// simulator: instance crashes with configurable detection latency, link
+// brownouts that scale a memsim.Link's bandwidth over a time window, and
+// expert-load stalls that freeze a link outright.
+//
+// A Plan is declarative — a set of crash/brownout/stall specs — and
+// compiles into a flat, sorted event stream the cluster's shared-clock
+// loop merges with arrivals, autoscale ticks and instance events. The
+// compile order is a pure function of the plan (specs expand in slice
+// order, events sort stably by time), so two runs of the same plan
+// produce byte-identical fault streams; generators derive schedules from
+// an explicit seed via internal/rng, never from wall-clock entropy.
+//
+// Tie-breaks are pinned end to end: among fault events at the same
+// instant, compile (sequence) order wins; against the rest of the loop,
+// fault events process before arrivals, ticks and instance events at the
+// same instant (see internal/cluster).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"finemoe/internal/rng"
+)
+
+// LinkClass selects which of an instance's transfer links a brownout or
+// stall degrades.
+type LinkClass uint8
+
+const (
+	// LinkPCIe targets the per-GPU host links (DRAM -> HBM).
+	LinkPCIe LinkClass = iota
+	// LinkStaging targets the staging links below DRAM (the NVMe tier's
+	// shared channel in the three-tier hierarchy).
+	LinkStaging
+)
+
+// String implements fmt.Stringer.
+func (l LinkClass) String() string {
+	if l == LinkStaging {
+		return "staging"
+	}
+	return "pcie"
+}
+
+// Kind enumerates compiled fault-event kinds.
+type Kind uint8
+
+const (
+	// KindCrash halts an instance: its engine stops serving, but the
+	// fleet keeps routing to it until the matching KindDetect.
+	KindCrash Kind = iota
+	// KindDetect is the crash becoming visible: the instance leaves the
+	// routable fleet, stranded requests are lost or re-queued per the
+	// resilience policy, and a cold replacement may spawn.
+	KindDetect
+	// KindBrownout scales the target links' bandwidth by Factor.
+	KindBrownout
+	// KindRestore ends a brownout window (bandwidth scale back to 1).
+	KindRestore
+	// KindStall freezes the target links until EndMS (an expert-load
+	// stall: queued and on-demand transfers wait out the window).
+	KindStall
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindDetect:
+		return "detect"
+	case KindBrownout:
+		return "brownout"
+	case KindRestore:
+		return "restore"
+	case KindStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// AllInstances targets every non-crashed instance alive when the event
+// fires.
+const AllInstances = -1
+
+// Crash schedules one instance failure.
+type Crash struct {
+	// AtMS is the failure time on the shared clock.
+	AtMS float64
+	// Instance is the target's stable cluster instance ID.
+	Instance int
+	// DetectMS is the detection latency: the fleet keeps routing to the
+	// dead instance for this long after AtMS (0 = detected immediately).
+	DetectMS float64
+}
+
+// Brownout schedules a bandwidth-degradation window on one link class.
+type Brownout struct {
+	// AtMS and DurationMS bound the window.
+	AtMS, DurationMS float64
+	// Link selects the degraded link class.
+	Link LinkClass
+	// Factor scales the links' bandwidth during the window, in (0, 1].
+	Factor float64
+	// Instance is the target's stable ID, or AllInstances.
+	Instance int
+}
+
+// Stall schedules an expert-load stall: the target links are frozen for
+// the window (transfers issued during it wait until the window ends).
+type Stall struct {
+	// AtMS and DurationMS bound the window.
+	AtMS, DurationMS float64
+	// Link selects the stalled link class.
+	Link LinkClass
+	// Instance is the target's stable ID, or AllInstances.
+	Instance int
+}
+
+// Plan is a declarative fault schedule.
+type Plan struct {
+	Crashes   []Crash
+	Brownouts []Brownout
+	Stalls    []Stall
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Crashes)+len(p.Brownouts)+len(p.Stalls) == 0
+}
+
+// Validate checks every spec's parameters.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, c := range p.Crashes {
+		if c.AtMS < 0 || c.DetectMS < 0 {
+			return fmt.Errorf("faults: crash %d: negative time", i)
+		}
+		if c.Instance < 0 {
+			return fmt.Errorf("faults: crash %d: instance must be a concrete ID", i)
+		}
+	}
+	for i, b := range p.Brownouts {
+		if b.AtMS < 0 || b.DurationMS <= 0 {
+			return fmt.Errorf("faults: brownout %d: non-positive window", i)
+		}
+		if b.Factor <= 0 || b.Factor > 1 {
+			return fmt.Errorf("faults: brownout %d: factor %v outside (0, 1]", i, b.Factor)
+		}
+		if b.Instance < AllInstances {
+			return fmt.Errorf("faults: brownout %d: bad instance %d", i, b.Instance)
+		}
+	}
+	for i, s := range p.Stalls {
+		if s.AtMS < 0 || s.DurationMS <= 0 {
+			return fmt.Errorf("faults: stall %d: non-positive window", i)
+		}
+		if s.Instance < AllInstances {
+			return fmt.Errorf("faults: stall %d: bad instance %d", i, s.Instance)
+		}
+	}
+	return nil
+}
+
+// Event is one compiled fault occurrence, ready for the shared-clock
+// merge.
+type Event struct {
+	// TimeMS is when the event fires.
+	TimeMS float64
+	// Kind is the event's action.
+	Kind Kind
+	// Instance is the target's stable ID (AllInstances for fleet-wide
+	// brownouts/stalls; always concrete for crash/detect).
+	Instance int
+	// Link and Factor parameterize brownout/restore/stall events.
+	Link   LinkClass
+	Factor float64
+	// EndMS closes the window for brownout and stall events (restore
+	// events carry their window's start in StartMS for accounting).
+	EndMS float64
+	// seq pins the order of equal-time events to compile order.
+	seq int
+}
+
+// Compile expands the plan into its sorted event stream: crashes become
+// crash+detect pairs, brownouts become brownout+restore pairs, stalls a
+// single stall event. Events are ordered by (TimeMS, compile sequence),
+// so equal-time events fire in spec order — crashes first, then
+// brownouts, then stalls, each in slice order — and the stream is a pure
+// function of the plan.
+func (p *Plan) Compile() ([]Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	evs := make([]Event, 0, 2*len(p.Crashes)+2*len(p.Brownouts)+len(p.Stalls))
+	seq := 0
+	push := func(e Event) {
+		e.seq = seq
+		seq++
+		evs = append(evs, e)
+	}
+	for _, c := range p.Crashes {
+		push(Event{TimeMS: c.AtMS, Kind: KindCrash, Instance: c.Instance})
+		push(Event{TimeMS: c.AtMS + c.DetectMS, Kind: KindDetect, Instance: c.Instance})
+	}
+	for _, b := range p.Brownouts {
+		end := b.AtMS + b.DurationMS
+		push(Event{TimeMS: b.AtMS, Kind: KindBrownout, Instance: b.Instance,
+			Link: b.Link, Factor: b.Factor, EndMS: end})
+		push(Event{TimeMS: end, Kind: KindRestore, Instance: b.Instance,
+			Link: b.Link, Factor: 1})
+	}
+	for _, s := range p.Stalls {
+		push(Event{TimeMS: s.AtMS, Kind: KindStall, Instance: s.Instance,
+			Link: s.Link, EndMS: s.AtMS + s.DurationMS})
+	}
+	slices.SortStableFunc(evs, func(a, b Event) int {
+		switch {
+		case a.TimeMS < b.TimeMS:
+			return -1
+		case a.TimeMS > b.TimeMS:
+			return 1
+		default:
+			return a.seq - b.seq
+		}
+	})
+	return evs, nil
+}
+
+// String renders the event for fault logs ("5000.0ms crash i1").
+func (e Event) String() string {
+	target := fmt.Sprintf("i%d", e.Instance)
+	if e.Instance == AllInstances {
+		target = "all"
+	}
+	switch e.Kind {
+	case KindBrownout:
+		return fmt.Sprintf("%.1fms brownout %s %s x%.3f until %.1fms",
+			e.TimeMS, target, e.Link, e.Factor, e.EndMS)
+	case KindRestore:
+		return fmt.Sprintf("%.1fms restore %s %s", e.TimeMS, target, e.Link)
+	case KindStall:
+		return fmt.Sprintf("%.1fms stall %s %s until %.1fms", e.TimeMS, target, e.Link, e.EndMS)
+	}
+	return fmt.Sprintf("%.1fms %s %s", e.TimeMS, e.Kind, target)
+}
+
+// RandomCrashes draws n crashes deterministically from seed: failure
+// times uniform over [0, horizonMS), targets uniform over instance IDs
+// [0, fleet), each with the given detection latency. The schedule is
+// sorted by failure time so the compiled stream reads chronologically.
+func RandomCrashes(seed uint64, n int, horizonMS float64, fleet int, detectMS float64) []Crash {
+	if n <= 0 || fleet <= 0 || horizonMS <= 0 {
+		return nil
+	}
+	r := rng.New(rng.Mix(seed, 0xFA17))
+	out := make([]Crash, n)
+	for i := range out {
+		out[i] = Crash{
+			AtMS:     math.Floor(r.Float64()*horizonMS*10) / 10,
+			Instance: r.Intn(fleet),
+			DetectMS: detectMS,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].AtMS < out[b].AtMS })
+	return out
+}

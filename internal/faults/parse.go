@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the compact CLI fault-plan syntax: a comma-separated
+// list of events, each `kind@at[+window][:field]...` with times in
+// milliseconds.
+//
+//	crash@5000:i1:d250            crash instance 1 at 5 s, detected 250 ms later
+//	brownout@2000+3000:staging:x0.25:i0
+//	                              staging links of instance 0 at 20% bandwidth
+//	                              from 2 s to 5 s (omit iN to hit the fleet)
+//	stall@1000+200:pcie           freeze every instance's PCIe links for 200 ms
+//
+// Field prefixes: `i` target instance, `d` detection latency (crash),
+// `x` bandwidth factor (brownout), and a bare `pcie`/`staging` link
+// class (brownout/stall; default staging).
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q: missing @time", part)
+		}
+		fields := strings.Split(rest, ":")
+		at, dur, err := parseWindow(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("faults: %q: %w", part, err)
+		}
+		inst := AllInstances
+		detect := 0.0
+		factor := 0.0
+		link := LinkStaging
+		for _, f := range fields[1:] {
+			switch {
+			case f == "pcie":
+				link = LinkPCIe
+			case f == "staging", f == "nvme":
+				link = LinkStaging
+			case strings.HasPrefix(f, "i"):
+				v, err := strconv.Atoi(f[1:])
+				if err != nil {
+					return nil, fmt.Errorf("faults: %q: bad instance %q", part, f)
+				}
+				inst = v
+			case strings.HasPrefix(f, "d"):
+				v, err := strconv.ParseFloat(f[1:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: %q: bad detect latency %q", part, f)
+				}
+				detect = v
+			case strings.HasPrefix(f, "x"):
+				v, err := strconv.ParseFloat(f[1:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: %q: bad factor %q", part, f)
+				}
+				factor = v
+			default:
+				return nil, fmt.Errorf("faults: %q: unknown field %q", part, f)
+			}
+		}
+		switch kind {
+		case "crash":
+			if inst == AllInstances {
+				return nil, fmt.Errorf("faults: %q: crash needs a concrete instance (iN)", part)
+			}
+			p.Crashes = append(p.Crashes, Crash{AtMS: at, Instance: inst, DetectMS: detect})
+		case "brownout":
+			if dur <= 0 {
+				return nil, fmt.Errorf("faults: %q: brownout needs a +duration window", part)
+			}
+			if factor == 0 {
+				factor = 0.25
+			}
+			p.Brownouts = append(p.Brownouts, Brownout{
+				AtMS: at, DurationMS: dur, Link: link, Factor: factor, Instance: inst})
+		case "stall":
+			if dur <= 0 {
+				return nil, fmt.Errorf("faults: %q: stall needs a +duration window", part)
+			}
+			p.Stalls = append(p.Stalls, Stall{AtMS: at, DurationMS: dur, Link: link, Instance: inst})
+		default:
+			return nil, fmt.Errorf("faults: %q: unknown kind %q (crash|brownout|stall)", part, kind)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseWindow parses "at" or "at+duration" (milliseconds).
+func parseWindow(s string) (at, dur float64, err error) {
+	atStr, durStr, has := strings.Cut(s, "+")
+	if at, err = strconv.ParseFloat(atStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad time %q", atStr)
+	}
+	if !has {
+		return at, 0, nil
+	}
+	if dur, err = strconv.ParseFloat(durStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad duration %q", durStr)
+	}
+	return at, dur, nil
+}

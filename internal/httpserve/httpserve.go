@@ -8,6 +8,12 @@
 // pressure: grown instances join the routable set immediately, retired
 // ones finish their in-flight work but receive no further routes.
 //
+// The server also exposes a fault surface mirroring the cluster
+// simulator's failure model: POST /v1/faults crashes or restores a
+// replica, /healthz and /v1/stats report each replica's health state
+// (healthy | degraded | crashed | draining), and crashed replicas leave
+// the routable set until restored with a cold cache.
+//
 // Locking is two-level: a short-held server mutex covers the admission and
 // routing decision plus cumulative statistics, and each instance has its
 // own mutex serializing its engine. Requests routed to different instances
@@ -100,6 +106,7 @@ type Server struct {
 	mu        sync.Mutex
 	instances []*instance
 	retired   []bool
+	crashed   []bool
 	// memPressure caches each instance's host-DRAM thrash level as of
 	// its last completed request, so the routing view (fleetStates) can
 	// carry the memory signal without taking instance locks.
@@ -160,10 +167,9 @@ func New(c Config) *Server {
 	return s
 }
 
-// addInstanceLocked appends a fresh serving replica: its own simulated
-// gate network (same seed = same model weights), policy, store, and
-// cache. Caller holds s.mu (or is still constructing the server).
-func (s *Server) addInstanceLocked() {
+// newReplica builds a fresh serving replica: its own simulated gate
+// network (same seed = same model weights), policy, store, and cache.
+func (s *Server) newReplica() *instance {
 	c := s.conf
 	model := moe.NewModel(c.Model, c.Seed)
 	pol := core.NewFineMoE(core.NewStore(c.Model, c.StoreCapacity, c.Model.OptimalPrefetchDistance), core.Options{})
@@ -172,11 +178,71 @@ func (s *Server) addInstanceLocked() {
 		CacheBytes: c.CacheBytes, Policy: pol,
 		Memory: memsim.ThreeTier(c.DRAMBytes),
 	})
-	s.instances = append(s.instances, &instance{engine: eng, policy: pol})
+	return &instance{engine: eng, policy: pol}
+}
+
+// addInstanceLocked appends a fresh serving replica. Caller holds s.mu
+// (or is still constructing the server).
+func (s *Server) addInstanceLocked() {
+	s.instances = append(s.instances, s.newReplica())
 	s.retired = append(s.retired, false)
+	s.crashed = append(s.crashed, false)
 	s.inflight = append(s.inflight, 0)
 	s.completed = append(s.completed, 0)
 	s.memPressure = append(s.memPressure, 0)
+}
+
+// degradedPressure is the host-DRAM thrash level above which a replica
+// reports "degraded" health: past it, a substantial fraction of expert
+// fetches spill below DRAM and latency visibly suffers.
+const degradedPressure = 0.5
+
+// healthLocked classifies one replica's health state. Caller holds s.mu.
+func (s *Server) healthLocked(i int) string {
+	switch {
+	case s.crashed[i]:
+		return "crashed"
+	case s.retired[i]:
+		return "draining"
+	case s.memPressure[i] > degradedPressure:
+		return "degraded"
+	default:
+		return "healthy"
+	}
+}
+
+// Crash marks replica i failed: it leaves the routable set immediately
+// (the live server plays its own failure detector) and reports
+// "crashed" health until restored. In-flight requests on the replica
+// finish against its engine. Unknown IDs are rejected.
+func (s *Server) Crash(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.instances) {
+		return fmt.Errorf("httpserve: no instance %d", i)
+	}
+	s.crashed[i] = true
+	return nil
+}
+
+// Restore replaces a crashed replica with a fresh one at the same slot:
+// the restart is cold — empty Expert Map Store, empty expert cache —
+// mirroring the cluster simulator's cold-cache crash replacement.
+func (s *Server) Restore(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.instances) {
+		return fmt.Errorf("httpserve: no instance %d", i)
+	}
+	if !s.crashed[i] {
+		return fmt.Errorf("httpserve: instance %d is not crashed", i)
+	}
+	s.instances[i] = s.newReplica()
+	s.crashed[i] = false
+	s.retired[i] = false
+	s.completed[i] = 0
+	s.memPressure[i] = 0
+	return nil
 }
 
 // maybeScaleLocked evaluates the autoscaler against the routable fleet at
@@ -197,7 +263,7 @@ func (s *Server) maybeScaleLocked(fleet []cluster.InstanceState) {
 		}
 		reused := false
 		for i := range s.instances {
-			if s.retired[i] && s.inflight[i] == 0 {
+			if s.retired[i] && !s.crashed[i] && s.inflight[i] == 0 {
 				s.retired[i] = false
 				reused = true
 				break
@@ -250,10 +316,13 @@ type GenerateResponse struct {
 // instance and not yet finished — so the per-instance values sum to the
 // fleet-level QueueDepth.
 type InstanceStats struct {
-	ID          int     `json:"id"`
-	Served      int     `json:"served_requests"`
-	QueueDepth  int     `json:"queue_depth"`
-	Retired     bool    `json:"retired"`
+	ID         int  `json:"id"`
+	Served     int  `json:"served_requests"`
+	QueueDepth int  `json:"queue_depth"`
+	Retired    bool `json:"retired"`
+	// Health is the replica's state: healthy | degraded | crashed |
+	// draining (see /healthz).
+	Health      string  `json:"health"`
 	HitRate     float64 `json:"hit_rate"`
 	MeanTTFTms  float64 `json:"mean_ttft_ms"`
 	StoreSize   int     `json:"store_size"`
@@ -311,6 +380,7 @@ type StatsResponse struct {
 	Rejected    int     `json:"rejected_requests"`
 	QueueDepth  int     `json:"queue_depth"`
 	Active      int     `json:"active_instances"`
+	Crashed     int     `json:"crashed_instances"`
 	MeanTTFTms  float64 `json:"mean_ttft_ms"`
 	MeanTPOTms  float64 `json:"mean_tpot_ms"`
 	HitRate     float64 `json:"hit_rate"`
@@ -331,6 +401,10 @@ type StatsResponse struct {
 // ErrRejected reports a request shed by the admission policy.
 var ErrRejected = fmt.Errorf("httpserve: admission rejected request")
 
+// ErrUnavailable reports that no routable replica remains (every
+// instance crashed or draining).
+var ErrUnavailable = fmt.Errorf("httpserve: no routable instance")
+
 // fleetStates snapshots the routing view: the non-retired fleet, with
 // each entry's ID the instance's stable index in s.instances. Caller
 // holds s.mu; only server-side counters are read, keeping s.mu disjoint
@@ -339,7 +413,7 @@ var ErrRejected = fmt.Errorf("httpserve: admission rejected request")
 func (s *Server) fleetStates() []cluster.InstanceState {
 	out := make([]cluster.InstanceState, 0, len(s.instances))
 	for i := range s.instances {
-		if s.retired[i] {
+		if s.retired[i] || s.crashed[i] {
 			continue
 		}
 		out = append(out, cluster.InstanceState{
@@ -385,6 +459,11 @@ func (s *Server) Generate(req GenerateRequest) (GenerateResponse, error) {
 		Dataset: s.dataset.Name,
 	}
 	fleet := s.fleetStates()
+	if len(fleet) == 0 {
+		s.rejected++
+		s.mu.Unlock()
+		return GenerateResponse{RequestID: id, Topic: topic, Instance: -1}, ErrUnavailable
+	}
 	if !s.admission.Admit(wreq, s.vnow, fleet) {
 		s.rejected++
 		s.mu.Unlock()
@@ -467,6 +546,11 @@ func (s *Server) Stats() StatsResponse {
 	instances := append([]*instance(nil), s.instances...)
 	inflight := append([]int(nil), s.inflight...)
 	retired := append([]bool(nil), s.retired...)
+	crashed := append([]bool(nil), s.crashed...)
+	health := make([]string, len(s.instances))
+	for i := range s.instances {
+		health[i] = s.healthLocked(i)
+	}
 	s.mu.Unlock()
 
 	var sumTTFT, sumTPOT float64
@@ -476,6 +560,7 @@ func (s *Server) Stats() StatsResponse {
 		in.mu.Lock()
 		is := InstanceStats{
 			ID: i, Served: in.served, QueueDepth: inflight[i], Retired: retired[i],
+			Health:    health[i],
 			StoreSize: in.policy.Store().Len(), VirtualTime: in.now,
 			MemPressure: in.memPressure, Tiers: tierStats(in.engine.TierStats()),
 		}
@@ -508,7 +593,9 @@ func (s *Server) Stats() StatsResponse {
 				ft.Pressure = float64(ft.ResidentExperts) / float64(ft.CapacityExperts)
 			}
 		}
-		if !retired[i] {
+		if crashed[i] {
+			st.Crashed++
+		} else if !retired[i] {
 			st.Active++
 			memSum += in.memPressure
 		}
@@ -583,6 +670,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/config", s.handleConfig)
+	mux.HandleFunc("/v1/faults", s.handleFaults)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -603,10 +691,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Generate(req)
 	if err != nil {
+		code, msg := http.StatusTooManyRequests, "rejected by admission policy"
+		if err == ErrUnavailable {
+			code, msg = http.StatusServiceUnavailable, "no routable instance"
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusTooManyRequests)
+		w.WriteHeader(code)
 		if err := json.NewEncoder(w).Encode(map[string]any{
-			"error": "rejected by admission policy", "request_id": resp.RequestID,
+			"error": msg, "request_id": resp.RequestID,
 		}); err != nil {
 			log.Printf("httpserve: encode rejection: %v", err)
 		}
@@ -623,11 +715,77 @@ func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.ConfigInfo())
 }
 
+// InstanceHealth is one replica's entry in the /healthz fleet list.
+type InstanceHealth struct {
+	ID     int    `json:"id"`
+	Health string `json:"health"`
+}
+
+// handleHealthz reports overall and per-replica health. The endpoint
+// stays 200 "ok" while at least one replica is routable (healthy or
+// degraded) and flips to 503 "unavailable" when none is — the contract
+// a load balancer's health check needs.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	n := len(s.instances)
+	fleet := make([]InstanceHealth, len(s.instances))
+	routable := 0
+	for i := range s.instances {
+		h := s.healthLocked(i)
+		if h == "healthy" || h == "degraded" {
+			routable++
+		}
+		fleet[i] = InstanceHealth{ID: i, Health: h}
+	}
 	s.mu.Unlock()
-	writeJSON(w, map[string]any{"status": "ok", "instances": n})
+	status := "ok"
+	if routable == 0 {
+		status = "unavailable"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{
+		"status": status, "instances": len(fleet), "routable": routable,
+		"fleet": fleet,
+	})
+}
+
+// FaultRequest is the POST /v1/faults body: inject or clear a fault on
+// one replica.
+type FaultRequest struct {
+	Instance int `json:"instance"`
+	// Action is "crash" (fail the replica in place) or "restore"
+	// (replace it with a cold restart).
+	Action string `json:"action"`
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req FaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var err error
+	switch req.Action {
+	case "crash":
+		err = s.Crash(req.Instance)
+	case "restore":
+		err = s.Restore(req.Instance)
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q (crash|restore)", req.Action), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	h := s.healthLocked(req.Instance)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"instance": req.Instance, "health": h})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -369,3 +369,116 @@ func TestAdmissionRejectionOver429(t *testing.T) {
 		t.Fatalf("rejection accounting %+v", st)
 	}
 }
+
+// TestFaultEndpointAndHealthStates drives the fault surface end to end:
+// crash a replica over POST /v1/faults, watch /healthz and /v1/stats
+// flip it to "crashed" and keep routing on the survivor; crash the
+// survivor too and watch the server answer 503 everywhere; restore and
+// watch the fleet come back healthy with a cold store.
+func TestFaultEndpointAndHealthStates(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	postFault := func(inst int, action string) (*http.Response, map[string]any) {
+		t.Helper()
+		buf, _ := json.Marshal(map[string]any{"instance": inst, "action": action})
+		resp, err := http.Post(ts.URL+"/v1/faults", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+	getHealth := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	// Crash replica 0: health flips, replica 1 keeps serving everything.
+	if resp, out := postFault(0, "crash"); resp.StatusCode != http.StatusOK || out["health"] != "crashed" {
+		t.Fatalf("crash response %d %v", resp.StatusCode, out)
+	}
+	code, h := getHealth()
+	if code != http.StatusOK || h["status"] != "ok" || h["routable"] != float64(1) {
+		t.Fatalf("healthz after crash: %d %v", code, h)
+	}
+	for i := 0; i < 4; i++ {
+		if out := postGenerate(t, ts, GenerateRequest{InputTokens: 5, OutputTokens: 4}); out.Instance != 1 {
+			t.Fatalf("request routed to crashed replica: %+v", out)
+		}
+	}
+	st := getStats(t, ts)
+	if st.Crashed != 1 || st.Active != 1 ||
+		st.Instances[0].Health != "crashed" || st.Instances[1].Health != "healthy" {
+		t.Fatalf("stats after crash: crashed=%d active=%d healths=%q,%q",
+			st.Crashed, st.Active, st.Instances[0].Health, st.Instances[1].Health)
+	}
+
+	// Crash the survivor: no routable replica left, everything 503s.
+	if resp, _ := postFault(1, "crash"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second crash status %d", resp.StatusCode)
+	}
+	if code, h := getHealth(); code != http.StatusServiceUnavailable || h["status"] != "unavailable" {
+		t.Fatalf("healthz with all crashed: %d %v", code, h)
+	}
+	buf, _ := json.Marshal(GenerateRequest{InputTokens: 5, OutputTokens: 4})
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("generate with all crashed: status %d, want 503", resp.StatusCode)
+	}
+
+	// Restore replica 0: cold restart — routable again, store empty.
+	if resp, out := postFault(0, "restore"); resp.StatusCode != http.StatusOK || out["health"] != "healthy" {
+		t.Fatalf("restore response %d %v", resp.StatusCode, out)
+	}
+	if code, h := getHealth(); code != http.StatusOK || h["routable"] != float64(1) {
+		t.Fatalf("healthz after restore: %d %v", code, h)
+	}
+	if st := getStats(t, ts); st.Instances[0].StoreSize != 0 {
+		t.Fatalf("restored replica kept a warm store (%d entries)", st.Instances[0].StoreSize)
+	}
+	if out := postGenerate(t, ts, GenerateRequest{InputTokens: 5, OutputTokens: 4}); out.Instance != 0 {
+		t.Fatalf("request not routed to restored replica: %+v", out)
+	}
+
+	// Restoring a live replica and bad actions are rejected.
+	if resp, _ := postFault(0, "restore"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("restore of live replica: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postFault(99, "crash"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("crash of unknown replica: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postFault(0, "reboot"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// getStats fetches and decodes /v1/stats.
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -116,9 +116,10 @@ type Transfer struct {
 // prefetches and support for on-demand preemption with prefetch pausing
 // (§4.5).
 type Link struct {
-	gbps  float64 // bandwidth in GB/s
+	gbps  float64 // nominal bandwidth in GB/s
 	latMS float64 // fixed per-copy latency in ms
 	bytes int64   // bytes per expert on this model
+	scale float64 // bandwidth multiplier (brownouts; 1 = nominal)
 
 	queue        []*Transfer // pending, unscheduled
 	free         []*Transfer // recycled records; Prefetch reuses before allocating
@@ -145,10 +146,36 @@ func NewLink(spec GPUSpec, expertBytes int64) *Link {
 // and fixed per-copy latency in ms. Staging links between host tiers
 // (NVMe -> DRAM) are built this way.
 func NewRawLink(gbps, latencyMS float64, expertBytes int64) *Link {
-	return &Link{gbps: gbps, latMS: latencyMS, bytes: expertBytes, state: map[moe.ExpertRef]transferState{}}
+	return &Link{gbps: gbps, latMS: latencyMS, bytes: expertBytes, scale: 1, state: map[moe.ExpertRef]transferState{}}
 }
 
-func (l *Link) durMS() float64 { return l.latMS + float64(l.bytes)/(l.gbps*1e6) }
+func (l *Link) durMS() float64 { return l.latMS + float64(l.bytes)/(l.gbps*l.scale*1e6) }
+
+// SetBandwidthScale applies a multiplicative factor to the link's
+// bandwidth — the brownout knob. It affects transfers scheduled from the
+// call on; transfers already scheduled keep their start/end times
+// (iterations, like transfers, are atomic in virtual time). Scale 1
+// restores nominal bandwidth and is exact: the scaled duration
+// computation multiplies by 1, so an un-browned-out link is
+// byte-identical to one that never had the knob.
+func (l *Link) SetBandwidthScale(f float64) {
+	if f <= 0 {
+		panic("memsim: non-positive bandwidth scale")
+	}
+	l.scale = f
+}
+
+// BandwidthScale returns the current brownout factor (1 = nominal).
+func (l *Link) BandwidthScale() float64 { return l.scale }
+
+// Stall freezes the link until untilMS — an expert-load stall: queued
+// prefetches pause and the on-demand stream becomes free no earlier than
+// untilMS, so loads issued during the window wait it out. A no-op when
+// the link is already paused/busy past untilMS.
+func (l *Link) Stall(untilMS float64) {
+	l.pausedUntil = math.Max(l.pausedUntil, untilMS)
+	l.demandFreeAt = math.Max(l.demandFreeAt, untilMS)
+}
 
 // Tracked reports whether ref is queued or in flight.
 func (l *Link) Tracked(ref moe.ExpertRef) bool { return l.state[ref] != stateNone }
@@ -419,4 +446,35 @@ func (c *Cluster) QueueLen() int {
 		n += l.QueueLen()
 	}
 	return n
+}
+
+// ScalePCIe applies a bandwidth scale to every per-GPU host link (PCIe
+// brownout; 1 restores nominal).
+func (c *Cluster) ScalePCIe(f float64) {
+	for _, l := range c.links {
+		l.SetBandwidthScale(f)
+	}
+}
+
+// ScaleStaging applies a bandwidth scale to every staging link below
+// DRAM (NVMe brownout); a no-op under the degenerate two-tier hierarchy,
+// which has no staging links to degrade.
+func (c *Cluster) ScaleStaging(f float64) {
+	for _, l := range c.staging {
+		l.SetBandwidthScale(f)
+	}
+}
+
+// StallPCIe freezes every per-GPU host link until untilMS.
+func (c *Cluster) StallPCIe(untilMS float64) {
+	for _, l := range c.links {
+		l.Stall(untilMS)
+	}
+}
+
+// StallStaging freezes every staging link until untilMS.
+func (c *Cluster) StallStaging(untilMS float64) {
+	for _, l := range c.staging {
+		l.Stall(untilMS)
+	}
 }

@@ -144,6 +144,18 @@ type Report struct {
 	// Tenants partitions the run per tenant (nil for single-tenant
 	// scenarios).
 	Tenants map[string]TenantReport
+
+	// Faulted marks a scenario that declared a FaultSpec; the fields
+	// below (and their serialized lines) exist only then, so fault-free
+	// reports stay byte-identical to pre-fault-support ones.
+	Faulted bool
+	// Crashes/Failed/Lost/Retries/HedgedWins are the availability counts
+	// (see cluster.Result); DegradedMS the brownout/stall exposure.
+	Crashes, Failed, Lost, Retries, HedgedWins int
+	DegradedMS                                 float64
+	// Goodput is Served / Requests — the fraction of offered work that
+	// completed.
+	Goodput float64
 }
 
 // Serialize renders the report as a stable, line-oriented key=value form:
@@ -170,6 +182,15 @@ func (rep *Report) Serialize() string {
 	w("resizes", rep.Resizes)
 	w("instance_hours", fmt.Sprintf("%.8f", rep.InstanceHours))
 	w("wall_clock_ms", fmt.Sprintf("%.6f", rep.WallClockMS))
+	if rep.Faulted {
+		w("crashes", rep.Crashes)
+		w("failed", rep.Failed)
+		w("lost_in_flight", rep.Lost)
+		w("retries", rep.Retries)
+		w("hedged_wins", rep.HedgedWins)
+		w("degraded_ms", fmt.Sprintf("%.6f", rep.DegradedMS))
+		w("goodput", fmt.Sprintf("%.6f", rep.Goodput))
+	}
 	names := make([]string, 0, len(rep.Tenants))
 	for name := range rep.Tenants {
 		names = append(names, name)
@@ -278,6 +299,17 @@ func (r *Runner) Run(sc Scenario) (*Report, error) {
 		FollowUp:  followUp,
 		Workers:   r.opts.ClusterWorkers,
 	}
+	if sc.Faults.faulted() {
+		copts.FaultPlan = sc.Faults.plan()
+		copts.Resilience = sc.Faults.Resilience
+		if sc.Faults.Resilience.ReplaceOnCrash {
+			// Crash replacement spawns cold-store instances through the
+			// same factory autoscaled growth uses; legal without an
+			// autoscaler.
+			copts.EngineFactory = func(id int) *serve.Engine { return r.engine() }
+			copts.MaxInstances = sc.Fleet.maxInst()
+		}
+	}
 	if sc.Fleet.Autoscale {
 		copts.Autoscaler = cluster.NewQueuePressure(cluster.QueuePressureOptions{
 			HighWatermark: sc.Fleet.HighWatermark,
@@ -310,6 +342,18 @@ func (r *Runner) Run(sc Scenario) (*Report, error) {
 		Resizes:       len(res.ScaleEvents),
 		InstanceHours: res.InstanceHours,
 		WallClockMS:   res.WallClockMS,
+	}
+	if sc.Faults.faulted() {
+		rep.Faulted = true
+		rep.Crashes = res.Crashes
+		rep.Failed = res.FailedRequests
+		rep.Lost = res.LostInFlight
+		rep.Retries = res.Retries
+		rep.HedgedWins = res.HedgedWins
+		rep.DegradedMS = res.DegradedMS
+		if rep.Requests > 0 {
+			rep.Goodput = float64(res.Served) / float64(rep.Requests)
+		}
 	}
 
 	// Burstiness of the offered traffic (trace plus follow-ups), over 8

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"finemoe/internal/cluster"
+	"finemoe/internal/faults"
 	"finemoe/internal/workload"
 )
 
@@ -97,12 +98,43 @@ func (f FleetSpec) maxInst() int {
 	return f.MaxInstances
 }
 
+// FaultSpec declares a scenario's failure schedule and the resilience
+// policy protecting against it. A nil FaultSpec (or one with an empty
+// plan and disabled resilience) leaves the run byte-identical to a
+// fault-free scenario.
+type FaultSpec struct {
+	// Crashes, Brownouts and Stalls form the declarative fault plan
+	// (see internal/faults).
+	Crashes   []faults.Crash
+	Brownouts []faults.Brownout
+	Stalls    []faults.Stall
+	// Resilience configures request-level fault tolerance.
+	Resilience cluster.ResilienceOptions
+}
+
+// plan assembles the spec's fault plan (nil when empty).
+func (f *FaultSpec) plan() *faults.Plan {
+	if f == nil {
+		return nil
+	}
+	return &faults.Plan{Crashes: f.Crashes, Brownouts: f.Brownouts, Stalls: f.Stalls}
+}
+
+// faulted reports whether the spec schedules any fault or enables any
+// resilience mechanism.
+func (f *FaultSpec) faulted() bool {
+	return f != nil && (!f.plan().Empty() || f.Resilience.Enabled || f.Resilience.ReplaceOnCrash)
+}
+
 // Scenario is one cell of the gauntlet: a named workload × fleet pairing.
 type Scenario struct {
 	// Name identifies the scenario in reports and tables.
 	Name     string
 	Workload WorkloadSpec
 	Fleet    FleetSpec
+	// Faults, when non-nil, injects the declared failure schedule into
+	// the run and applies its resilience policy (see FaultSpec).
+	Faults *FaultSpec
 }
 
 // NewRouter resolves a FleetSpec's router name to a fresh policy

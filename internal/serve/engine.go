@@ -187,6 +187,9 @@ type Engine struct {
 	// semantics: a new batch is admitted only when the previous one fully
 	// drains, arrival times are ignored, and submission order is kept.
 	offline bool
+	// crashed halts the engine (fault injection): no further events fire
+	// and queued/running requests sit stranded until CrashHarvest.
+	crashed bool
 }
 
 // New builds an engine for one run.
@@ -687,6 +690,9 @@ func (e *Engine) TakeCompleted() []RequestMetrics {
 // start immediately), the earliest pending arrival when idle, and +Inf when
 // fully drained.
 func (e *Engine) NextEventTime() float64 {
+	if e.crashed {
+		return math.Inf(1)
+	}
 	if len(e.running) > 0 {
 		return e.now
 	}
@@ -753,6 +759,72 @@ func (e *Engine) Finalize() *Result {
 	return e.finalize(e.completed, e.now)
 }
 
+// --- fault-injection surface -------------------------------------------------
+
+// Crash halts the engine at its current clock: NextEventTime becomes +Inf
+// and Step/Drain no-op, leaving queued and in-flight requests stranded
+// until CrashHarvest collects them. Completed metrics are preserved.
+func (e *Engine) Crash() { e.crashed = true }
+
+// Crashed reports whether the engine has been halted by Crash.
+func (e *Engine) Crashed() bool { return e.crashed }
+
+// CrashHarvest removes and returns every stranded request — in-flight
+// requests in admission order, then queued requests in arrival order — so
+// the orchestrator can re-queue or account them as lost. Idempotent:
+// a second call returns nil.
+func (e *Engine) CrashHarvest() []workload.Request {
+	n := len(e.running) + len(e.pending)
+	if n == 0 {
+		return nil
+	}
+	out := make([]workload.Request, 0, n)
+	for _, r := range e.running {
+		out = append(out, r.req)
+	}
+	out = append(out, e.pending...)
+	e.running = e.running[:0]
+	e.pending = e.pending[:0]
+	e.pendingIt = e.pendingIt[:0]
+	return out
+}
+
+// Cancel removes the request with the given ID from the engine — whether
+// still queued or mid-batch — without recording completion metrics.
+// Orchestrators use it to retire the losing copies of hedged or retried
+// requests. Reports whether the request was found; a request that already
+// completed is not cancellable. Works on crashed engines.
+func (e *Engine) Cancel(id uint64) bool {
+	for i, r := range e.running {
+		if r.req.ID == id {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return true
+		}
+	}
+	for i, q := range e.pending {
+		if q.ID == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.pendingIt = append(e.pendingIt[:i], e.pendingIt[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ScalePCIeLinks scales every per-GPU host link's bandwidth (brownout
+// injection; 1 restores nominal).
+func (e *Engine) ScalePCIeLinks(factor float64) { e.cluster.ScalePCIe(factor) }
+
+// ScaleStagingLinks scales every staging link's bandwidth (no-op on
+// two-tier hierarchies).
+func (e *Engine) ScaleStagingLinks(factor float64) { e.cluster.ScaleStaging(factor) }
+
+// StallPCIeLinks freezes every per-GPU host link until the given time.
+func (e *Engine) StallPCIeLinks(untilMS float64) { e.cluster.StallPCIe(untilMS) }
+
+// StallStagingLinks freezes every staging link until the given time.
+func (e *Engine) StallStagingLinks(untilMS float64) { e.cluster.StallStaging(untilMS) }
+
 // admitOne moves the head of the pending queue into the running batch,
 // simulating its gate trace if none was supplied. arrival records the
 // request's metric arrival time (its trace arrival online, the current
@@ -797,7 +869,7 @@ func (e *Engine) runBatch(batch []*runReq) {
 // step executes one scheduling event: advance the clock to the next arrival
 // if idle, admit, and run one iteration. Returns false when drained.
 func (e *Engine) step() bool {
-	if len(e.pending) == 0 && len(e.running) == 0 {
+	if e.crashed || (len(e.pending) == 0 && len(e.running) == 0) {
 		return false
 	}
 	if e.offline {

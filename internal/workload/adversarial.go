@@ -1,0 +1,43 @@
+// Adversarial tenant profile: the stress shape fault experiments lean
+// on. A well-behaved fleet mostly sees Poisson-ish traffic with modest
+// prompts; the abusive tenant instead alternates near-silence with
+// hammering burst loops and ships oversized, topically scattered
+// prompts, maximizing queue pressure and cache thrash per request. The
+// faultfig experiment uses it as the background stressor while crashes
+// and brownouts land.
+package workload
+
+// AbusiveBurstLoop is an MMPP tuned as a burst loop with mean rate
+// ratePerSec: long near-silent stretches (rate/8) punctuated by bursts
+// at 10× the mean rate — roughly 9% of the time in bursts carrying ~70%
+// of the traffic, far more overdispersed than BurstyMMPP.
+func AbusiveBurstLoop(ratePerSec float64) MMPP {
+	return MMPP{
+		LowRate:  ratePerSec / 8,
+		HighRate: 10 * ratePerSec,
+		MeanLowS: 10 / ratePerSec, MeanHighS: 1 / ratePerSec,
+	}
+}
+
+// AdversarialDataset is a prompt population sized to abuse: prompts and
+// generations several times the usual mean with heavy-tailed lengths,
+// spread across many weakly clustered topics so consecutive requests
+// share few experts.
+func AdversarialDataset(seed uint64) Dataset {
+	return Dataset{
+		Name: "adversarial", Topics: 32, TopicSpread: 0.6,
+		MeanInput: 48, MeanOutput: 24, LenSigma: 0.9, Seed: seed,
+	}
+}
+
+// AdversarialTenant assembles the abusive tenant for multi-tenant mixes:
+// n oversized requests arriving on a burst loop with mean rate
+// ratePerSec.
+func AdversarialTenant(name string, ratePerSec float64, n int, seed uint64) TenantSpec {
+	return TenantSpec{
+		Name:     name,
+		Dataset:  AdversarialDataset(seed),
+		Arrivals: AbusiveBurstLoop(ratePerSec),
+		N:        n,
+	}
+}
