@@ -26,10 +26,12 @@ fmt:
 	gofmt -w .
 
 # Regenerate the committed sharded cluster-loop baseline: a 32-instance
-# 1M-request bursty trace through the serial loop and the sharded loop at
-# workers 1/2/4/NumCPU, byte-parity checked, honest wall-clock ratios.
+# 1M-request bursty trace through the serial, sharded (workers
+# 1/2/4/NumCPU) and streaming loops, byte-parity checked, with honest
+# wall-clock ratios and memory columns (peak heap, GC cycles,
+# allocs/request) — plus the 10M-request streaming-only horizon run.
 clusterbench:
-	$(GO) run ./cmd/finemoe-bench -clusterbench BENCH_cluster.json
+	$(GO) run ./cmd/finemoe-bench -clusterbench BENCH_cluster.json -clusterbench-horizon 10000000
 
 # The fault gauntlet at small scale: crash/brownout/stall scenarios with
 # resilience off vs on (see internal/experiments/faults.go).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"finemoe/internal/cluster"
 	"finemoe/internal/core"
@@ -18,12 +19,36 @@ import (
 
 // clusterBenchRun is one loop configuration's measurement in the
 // committed BENCH_cluster.json baseline. Workers 0 is the serial
-// shared-clock loop every sharded run is compared against.
+// shared-clock loop every other run is compared against. Mode "trace"
+// consumes a fully materialized request slice; mode "stream" consumes
+// the same workload through a generator-backed workload.Source —
+// byte-identical results, streaming memory footprint.
 type clusterBenchRun struct {
 	Workers         int     `json:"workers"`
+	Mode            string  `json:"mode"`
 	WallMS          float64 `json:"wall_ms"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 	ByteParity      bool    `json:"byte_parity_vs_serial"`
+	// PeakHeapBytes is the largest HeapAlloc a background sampler saw
+	// during the run; GCCycles and AllocsPerRequest are the run's GC
+	// count and heap-object allocation deltas (steady-state allocation
+	// discipline shows up here, not in wall time alone).
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	GCCycles         uint32  `json:"gc_cycles"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+// clusterBenchHorizon records the long-horizon streaming run: a request
+// count far past what a materialized trace comfortably holds, driven
+// end-to-end through the generator path on the serial loop.
+type clusterBenchHorizon struct {
+	Requests         int     `json:"requests"`
+	Served           int     `json:"served"`
+	WallMS           float64 `json:"wall_ms"`
+	SimulatedMS      float64 `json:"simulated_wall_ms"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	GCCycles         uint32  `json:"gc_cycles"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
 }
 
 // clusterBenchBaseline is the artifact's top-level schema. Speedups are
@@ -31,20 +56,21 @@ type clusterBenchRun struct {
 // are recorded precisely because a single-core runner cannot show the
 // multi-core scaling the sharded loop exists for.
 type clusterBenchBaseline struct {
-	GeneratedBy string            `json:"generated_by"`
-	GoVersion   string            `json:"go_version"`
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	NumCPU      int               `json:"num_cpu"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Model       string            `json:"model"`
-	Instances   int               `json:"instances"`
-	Requests    int               `json:"requests"`
-	Arrival     string            `json:"arrival"`
-	Served      int               `json:"served"`
-	FollowUps   int               `json:"follow_ups"`
-	SimulatedMS float64           `json:"simulated_wall_ms"`
-	Runs        []clusterBenchRun `json:"runs"`
+	GeneratedBy   string               `json:"generated_by"`
+	GoVersion     string               `json:"go_version"`
+	GOOS          string               `json:"goos"`
+	GOARCH        string               `json:"goarch"`
+	NumCPU        int                  `json:"num_cpu"`
+	GOMAXPROCS    int                  `json:"gomaxprocs"`
+	Model         string               `json:"model"`
+	Instances     int                  `json:"instances"`
+	Requests      int                  `json:"requests"`
+	Arrival       string               `json:"arrival"`
+	Served        int                  `json:"served"`
+	FollowUps     int                  `json:"follow_ups"`
+	SimulatedMS   float64              `json:"simulated_wall_ms"`
+	Runs          []clusterBenchRun    `json:"runs"`
+	StreamHorizon *clusterBenchHorizon `json:"stream_horizon,omitempty"`
 }
 
 // clusterBenchFleet builds one fresh fleet for a bench run: Tiny-model
@@ -65,24 +91,61 @@ func clusterBenchFleet(m *moe.Model, instances, workers int) *cluster.Cluster {
 	})
 }
 
-// runClusterBench drives the sharded cluster loop benchmark: one bursty
-// MMPP trace of n requests over a fixed fleet, run through the serial
-// loop and then the sharded loop at several worker counts. Every sharded
-// run's full ClusterResult must be byte-identical to the serial loop's —
-// a parity failure aborts the benchmark — and the honest wall-clock
-// ratios land in the JSON baseline at path.
-func runClusterBench(path string, n, instances int) error {
+// clusterBenchDataset is the fixed bench workload shape.
+func clusterBenchDataset() workload.Dataset {
+	return workload.Dataset{
+		Name: "clusterbench", Topics: 8, TopicSpread: 0.05,
+		MeanInput: 5, MeanOutput: 4, LenSigma: 0.3, Seed: 11,
+	}
+}
+
+// memProbe captures the allocation counters a bench run is charged for.
+type memProbe struct {
+	watch   *walltime.HeapWatch
+	mallocs uint64
+	numGC   uint32
+}
+
+func startMemProbe() *memProbe {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &memProbe{
+		watch:   walltime.WatchHeap(50 * time.Millisecond),
+		mallocs: ms.Mallocs,
+		numGC:   ms.NumGC,
+	}
+}
+
+// stop charges the run's deltas into dst, amortized over n requests.
+func (p *memProbe) stop(dst *clusterBenchRun, n int) {
+	peak := p.watch.Stop()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	dst.PeakHeapBytes = peak
+	dst.GCCycles = ms.NumGC - p.numGC
+	dst.AllocsPerRequest = float64(ms.Mallocs-p.mallocs) / float64(n)
+}
+
+// runClusterBench drives the cluster loop benchmark: one bursty MMPP
+// workload of n requests over a fixed fleet, run through the serial
+// loop, the sharded loop at several worker counts, and the streaming
+// (generator-source) path. Every run's full ClusterResult must be
+// byte-identical to the serial materialized loop's — a parity failure
+// aborts the benchmark — and the honest wall-clock ratios plus memory
+// columns land in the JSON baseline at path. A positive horizon adds a
+// streaming-only long-horizon run of that many requests (never
+// materialized: at 10M requests the trace alone would hold ~10⁷ request
+// records plus embeddings, which is the case the streaming path exists
+// for).
+func runClusterBench(path string, n, instances, horizon int) error {
 	if n <= 0 || instances <= 0 {
 		return fmt.Errorf("need positive request count and fleet size (got %d, %d)", n, instances)
 	}
 	m := moe.NewModel(moe.Tiny(), 42)
 	arrivals := workload.BurstyMMPP(8 * float64(instances))
-	trace := workload.OnlineTrace(workload.Dataset{
-		Name: "clusterbench", Topics: 8, TopicSpread: 0.05,
-		MeanInput: 5, MeanOutput: 4, LenSigma: 0.3, Seed: 11,
-	}, m.Cfg.SemDim, workload.OnlineOptions{
-		Arrivals: arrivals, N: n, Seed: 42,
-	})
+	d := clusterBenchDataset()
+	opt := workload.OnlineOptions{Arrivals: arrivals, N: n, Seed: 42}
+	trace := workload.OnlineTrace(d, m.Cfg.SemDim, opt)
 
 	out := &clusterBenchBaseline{
 		GeneratedBy: "finemoe-bench -clusterbench",
@@ -97,44 +160,70 @@ func runClusterBench(path string, n, instances int) error {
 		Arrival:     arrivals.Name(),
 	}
 
-	measure := func(workers int) ([]byte, float64, *cluster.Result, error) {
+	measure := func(workers int, src workload.Source) ([]byte, clusterBenchRun, *cluster.Result, error) {
 		c := clusterBenchFleet(m, instances, workers)
+		run := clusterBenchRun{Workers: workers, Mode: "trace"}
+		probe := startMemProbe()
 		watch := walltime.Start()
-		res := c.RunTrace(trace)
-		wall := float64(watch.Elapsed().Microseconds()) / 1000
+		var res *cluster.Result
+		if src != nil {
+			run.Mode = "stream"
+			res = c.RunStream(src)
+		} else {
+			res = c.RunTrace(trace)
+		}
+		run.WallMS = float64(watch.Elapsed().Microseconds()) / 1000
+		probe.stop(&run, n)
 		b, err := json.Marshal(res)
-		return b, wall, res, err
+		return b, run, res, err
 	}
 
-	serialBytes, serialWall, serialRes, err := measure(0)
+	serialBytes, serialRun, serialRes, err := measure(0, nil)
 	if err != nil {
 		return err
 	}
 	out.Served = serialRes.Served
 	out.FollowUps = serialRes.FollowUps
 	out.SimulatedMS = serialRes.WallClockMS
-	out.Runs = append(out.Runs, clusterBenchRun{Workers: 0, WallMS: serialWall, SpeedupVsSerial: 1, ByteParity: true})
+	serialRun.SpeedupVsSerial = 1
+	serialRun.ByteParity = true
+	out.Runs = append(out.Runs, serialRun)
 
-	counts := []int{1, 2, 4}
-	if nc := runtime.NumCPU(); nc != 1 && nc != 2 && nc != 4 {
-		counts = append(counts, nc)
+	type benchCase struct {
+		workers int
+		stream  bool
 	}
-	for _, w := range counts {
-		b, wall, _, err := measure(w)
+	cases := []benchCase{{1, false}, {2, false}, {4, false}}
+	if nc := runtime.NumCPU(); nc != 1 && nc != 2 && nc != 4 {
+		cases = append(cases, benchCase{nc, false})
+	}
+	// Streaming rows: the serial generator path (the memory-footprint
+	// headline) and the widest sharded run over the same source.
+	cases = append(cases, benchCase{0, true}, benchCase{4, true})
+	for _, bc := range cases {
+		var src workload.Source
+		if bc.stream {
+			src = workload.StreamOnline(d, m.Cfg.SemDim, opt)
+		}
+		b, run, _, err := measure(bc.workers, src)
 		if err != nil {
 			return err
 		}
-		parity := bytes.Equal(b, serialBytes)
-		out.Runs = append(out.Runs, clusterBenchRun{
-			Workers:         w,
-			WallMS:          wall,
-			SpeedupVsSerial: serialWall / wall,
-			ByteParity:      parity,
-		})
-		if !parity {
-			return fmt.Errorf("workers=%d: sharded loop diverged from the serial loop (%d vs %d result bytes)",
-				w, len(b), len(serialBytes))
+		run.SpeedupVsSerial = serialRun.WallMS / run.WallMS
+		run.ByteParity = bytes.Equal(b, serialBytes)
+		out.Runs = append(out.Runs, run)
+		if !run.ByteParity {
+			return fmt.Errorf("workers=%d mode=%s: run diverged from the serial loop (%d vs %d result bytes)",
+				bc.workers, run.Mode, len(b), len(serialBytes))
 		}
+	}
+
+	if horizon > 0 {
+		h, err := runClusterBenchHorizon(m, d, arrivals, instances, horizon)
+		if err != nil {
+			return err
+		}
+		out.StreamHorizon = h
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -143,4 +232,60 @@ func runClusterBench(path string, n, instances int) error {
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// progressSource wraps a Source and reports generator progress to
+// stderr every interval requests — a 10M-request horizon run is tens of
+// minutes of otherwise silent wall time, and the per-segment rates make
+// throughput drift (machine thermal state, backlog effects) visible.
+type progressSource struct {
+	src      workload.Source
+	n        int
+	interval int
+	watch    walltime.Stopwatch
+	lastMS   float64
+}
+
+func (p *progressSource) Next() (workload.Request, bool) {
+	q, ok := p.src.Next()
+	if ok {
+		p.n++
+		if p.interval > 0 && p.n%p.interval == 0 {
+			now := float64(p.watch.Elapsed().Microseconds()) / 1000
+			fmt.Fprintf(os.Stderr, "clusterbench: horizon %d requests drawn (segment %.1f us/req)\n",
+				p.n, (now-p.lastMS)*1000/float64(p.interval))
+			p.lastMS = now
+		}
+	}
+	return q, ok
+}
+
+// runClusterBenchHorizon runs the streaming-only long-horizon case on
+// the serial loop and reports throughput plus memory discipline.
+func runClusterBenchHorizon(m *moe.Model, d workload.Dataset, arrivals workload.ArrivalProcess, instances, horizon int) (*clusterBenchHorizon, error) {
+	c := clusterBenchFleet(m, instances, 0)
+	var src workload.Source = workload.StreamOnline(d, m.Cfg.SemDim, workload.OnlineOptions{
+		Arrivals: arrivals, N: horizon, Seed: 42,
+	})
+	if horizon >= 1_000_000 {
+		src = &progressSource{src: src, interval: horizon / 10, watch: walltime.Start()}
+	}
+	var run clusterBenchRun
+	probe := startMemProbe()
+	watch := walltime.Start()
+	res := c.RunStream(src)
+	wall := float64(watch.Elapsed().Microseconds()) / 1000
+	probe.stop(&run, horizon)
+	if res.Served != horizon {
+		return nil, fmt.Errorf("stream horizon served %d of %d requests", res.Served, horizon)
+	}
+	return &clusterBenchHorizon{
+		Requests:         horizon,
+		Served:           res.Served,
+		WallMS:           wall,
+		SimulatedMS:      res.WallClockMS,
+		PeakHeapBytes:    run.PeakHeapBytes,
+		GCCycles:         run.GCCycles,
+		AllocsPerRequest: run.AllocsPerRequest,
+	}, nil
 }

@@ -55,6 +55,8 @@ func main() {
 			"request count for -clusterbench (the committed baseline uses 1M; CI smoke uses a small value)")
 		clusterBenchInstances = flag.Int("clusterbench-instances", 32,
 			"fleet size for -clusterbench")
+		clusterBenchHorizon = flag.Int("clusterbench-horizon", 0,
+			"additional streaming-only long-horizon request count for -clusterbench (0 = skip; the committed baseline uses 10M)")
 		cpuProfile = flag.String("cpuprofile", "",
 			"write a pprof CPU profile of the experiment runs to this file")
 		memProfile = flag.String("memprofile", "",
@@ -112,7 +114,7 @@ func main() {
 	}
 
 	if *clusterBench != "" {
-		if err := runClusterBench(*clusterBench, *clusterBenchN, *clusterBenchInstances); err != nil {
+		if err := runClusterBench(*clusterBench, *clusterBenchN, *clusterBenchInstances, *clusterBenchHorizon); err != nil {
 			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -9,7 +9,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
 	"finemoe/internal/moe"
 )
@@ -81,11 +80,23 @@ type Stats struct {
 // Cache is a single device's expert cache, sized in whole experts (the
 // paper's §3.3 notes all experts of a model share one weight size, so byte
 // capacity reduces to an expert-count capacity).
+//
+// Residency is a dense [layer][expert] table rather than a map: the
+// expert universe is small (Layers × RoutedExperts), every hot operation
+// — Contains, Lookup, Pin, and above all the per-insert victim scan —
+// becomes an array index or an in-order sweep, and scanning in ascending
+// (layer, expert) order makes eviction deterministic by construction
+// instead of by a tie-break against map iteration order.
 type Cache struct {
 	capacity int
-	entries  map[moe.ExpertRef]*Meta
 	scorer   Scorer
 	stats    Stats
+	// byLayer[l][e] is the residency record of expert (l, e), nil when
+	// not resident. Rows grow on demand to the largest ref seen, so the
+	// cache needs no up-front model shape.
+	byLayer [][]*Meta
+	// n counts resident experts.
+	n int
 	// strictPinned refuses to evict pinned entries: an insert that finds
 	// every entry pinned is rejected (and counted) instead of evicting a
 	// pinned victim. Host DRAM tiers run strict — a pinned entry there is
@@ -112,7 +123,39 @@ func New(capacity int, scorer Scorer) *Cache {
 	if scorer == nil {
 		panic("cache: nil scorer")
 	}
-	return &Cache{capacity: capacity, entries: map[moe.ExpertRef]*Meta{}, scorer: scorer}
+	return &Cache{capacity: capacity, scorer: scorer}
+}
+
+// entry returns the residency record of ref, nil when not resident.
+//
+//finemoe:hotpath
+func (c *Cache) entry(ref moe.ExpertRef) *Meta {
+	if ref.Layer >= len(c.byLayer) {
+		return nil
+	}
+	row := c.byLayer[ref.Layer]
+	if ref.Expert >= len(row) {
+		return nil
+	}
+	return row[ref.Expert]
+}
+
+// setEntry installs m as ref's record, growing the table to cover ref.
+//
+//finemoe:allocok grows the residency table only until it covers the model's expert universe
+func (c *Cache) setEntry(ref moe.ExpertRef, m *Meta) {
+	if ref.Layer < 0 || ref.Expert < 0 {
+		panic(fmt.Sprintf("cache: negative expert ref %+v", ref))
+	}
+	for ref.Layer >= len(c.byLayer) {
+		c.byLayer = append(c.byLayer, nil)
+	}
+	row := c.byLayer[ref.Layer]
+	for ref.Expert >= len(row) {
+		row = append(row, nil)
+	}
+	row[ref.Expert] = m
+	c.byLayer[ref.Layer] = row
 }
 
 // NewStrictPinned builds a cache that never evicts pinned entries: an
@@ -128,18 +171,21 @@ func NewStrictPinned(capacity int, scorer Scorer) *Cache {
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len returns the number of resident experts.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.n }
 
 // Contains reports residency without touching usage stats.
+//
+//finemoe:hotpath
 func (c *Cache) Contains(ref moe.ExpertRef) bool {
-	_, ok := c.entries[ref]
-	return ok
+	return c.entry(ref) != nil
 }
 
 // Lookup records a hit or miss at time now and returns residency. Hits
 // update LFU/LRU bookkeeping.
+//
+//finemoe:hotpath
 func (c *Cache) Lookup(ref moe.ExpertRef, now float64) bool {
-	if m, ok := c.entries[ref]; ok {
+	if m := c.entry(ref); m != nil {
 		m.Freq++
 		m.LastUse = now
 		c.stats.Hits++
@@ -151,23 +197,33 @@ func (c *Cache) Lookup(ref moe.ExpertRef, now float64) bool {
 
 // Pin marks a resident expert as in use by the executing layer.
 // Pinning a non-resident expert is a no-op.
+//
+//finemoe:hotpath
 func (c *Cache) Pin(ref moe.ExpertRef) {
-	if m, ok := c.entries[ref]; ok {
+	if m := c.entry(ref); m != nil {
 		m.Pinned = true
 	}
 }
 
 // Unpin clears a pin.
+//
+//finemoe:hotpath
 func (c *Cache) Unpin(ref moe.ExpertRef) {
-	if m, ok := c.entries[ref]; ok {
+	if m := c.entry(ref); m != nil {
 		m.Pinned = false
 	}
 }
 
 // UnpinAll clears every pin (called at layer completion).
+//
+//finemoe:hotpath
 func (c *Cache) UnpinAll() {
-	for _, m := range c.entries {
-		m.Pinned = false
+	for _, row := range c.byLayer {
+		for _, m := range row {
+			if m != nil {
+				m.Pinned = false
+			}
+		}
 	}
 }
 
@@ -185,7 +241,7 @@ func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 		return nil
 	}
 	c.evictScratch = c.evictScratch[:0]
-	for len(c.entries) >= c.capacity {
+	for c.n >= c.capacity {
 		victim, ok := c.pickVictim(now)
 		if !ok {
 			if c.strictPinned {
@@ -203,17 +259,19 @@ func (c *Cache) Insert(ref moe.ExpertRef, now float64) []moe.ExpertRef {
 			}
 			c.stats.PinnedEvictions++
 		}
-		c.metaFree = append(c.metaFree, c.entries[victim])
-		delete(c.entries, victim)
+		c.metaFree = append(c.metaFree, c.byLayer[victim.Layer][victim.Expert])
+		c.byLayer[victim.Layer][victim.Expert] = nil
+		c.n--
 		c.stats.Evictions++
 		c.evictScratch = append(c.evictScratch, victim)
 	}
 	m := c.newMeta()
 	*m = Meta{Freq: 1, LastUse: now, Inserted: now}
-	c.entries[ref] = m
+	c.setEntry(ref, m)
+	c.n++
 	c.stats.Insertions++
-	if len(c.entries) > c.stats.PeakResidentExp {
-		c.stats.PeakResidentExp = len(c.entries)
+	if c.n > c.stats.PeakResidentExp {
+		c.stats.PeakResidentExp = c.n
 	}
 	return c.evictScratch
 }
@@ -231,18 +289,24 @@ func (c *Cache) newMeta() *Meta {
 	return &Meta{}
 }
 
+// pickVictim scans the dense table in ascending (layer, expert) order: a
+// strict-greater argmax over an in-order scan keeps the lowest ref among
+// ties, exactly the less() tie-break the map-backed cache applied, so the
+// victim sequence — and every downstream byte — is unchanged.
 func (c *Cache) pickVictim(now float64) (moe.ExpertRef, bool) {
 	var best moe.ExpertRef
 	bestScore := 0.0
 	found := false
-	//finemoe:nondeterministic-ok argmax with a total (layer,expert) tie-break via less(), so the winner is independent of iteration order
-	for ref, m := range c.entries {
-		if m.Pinned {
-			continue
-		}
-		s := c.scorer.Score(ref, *m, now)
-		if !found || s > bestScore || (s == bestScore && less(ref, best)) {
-			best, bestScore, found = ref, s, true
+	for l, row := range c.byLayer {
+		for e, m := range row {
+			if m == nil || m.Pinned {
+				continue
+			}
+			ref := moe.ExpertRef{Layer: l, Expert: e}
+			s := c.scorer.Score(ref, *m, now)
+			if !found || s > bestScore {
+				best, bestScore, found = ref, s, true
+			}
 		}
 	}
 	return best, found
@@ -252,17 +316,22 @@ func (c *Cache) pickVictimIncludingPinned(now float64) (moe.ExpertRef, bool) {
 	var best moe.ExpertRef
 	bestScore := 0.0
 	found := false
-	//finemoe:nondeterministic-ok argmax with a total (layer,expert) tie-break via less(), so the winner is independent of iteration order
-	for ref, m := range c.entries {
-		s := c.scorer.Score(ref, *m, now)
-		if !found || s > bestScore || (s == bestScore && less(ref, best)) {
-			best, bestScore, found = ref, s, true
+	for l, row := range c.byLayer {
+		for e, m := range row {
+			if m == nil {
+				continue
+			}
+			ref := moe.ExpertRef{Layer: l, Expert: e}
+			s := c.scorer.Score(ref, *m, now)
+			if !found || s > bestScore {
+				best, bestScore, found = ref, s, true
+			}
 		}
 	}
 	return best, found
 }
 
-// less gives deterministic tie-breaking across map iteration order.
+// less orders refs by (layer, expert); Residents sorts with it.
 func less(a, b moe.ExpertRef) bool {
 	if a.Layer != b.Layer {
 		return a.Layer < b.Layer
@@ -273,39 +342,42 @@ func less(a, b moe.ExpertRef) bool {
 // Pinned reports whether a resident expert is pinned by the executing
 // layer (false for non-resident experts).
 func (c *Cache) Pinned(ref moe.ExpertRef) bool {
-	m, ok := c.entries[ref]
-	return ok && m.Pinned
+	m := c.entry(ref)
+	return m != nil && m.Pinned
 }
 
 // Remove drops a resident expert without charging an eviction (the
 // tiered-memory demotion path accounts the movement itself). Reports
 // whether the expert was resident.
 func (c *Cache) Remove(ref moe.ExpertRef) bool {
-	m, ok := c.entries[ref]
-	if !ok {
+	m := c.entry(ref)
+	if m == nil {
 		return false
 	}
 	c.metaFree = append(c.metaFree, m)
-	delete(c.entries, ref)
+	c.byLayer[ref.Layer][ref.Expert] = nil
+	c.n--
 	return true
 }
 
 // Stats returns a copy of the counters with CurrentResident refreshed.
 func (c *Cache) Stats() Stats {
 	s := c.stats
-	s.CurrentResident = len(c.entries)
+	s.CurrentResident = c.n
 	return s
 }
 
-// Residents returns all resident experts in (layer, expert) order, so the
-// listing is stable regardless of map iteration. Intended for tests and
-// debugging.
+// Residents returns all resident experts in (layer, expert) order — the
+// dense table's natural scan order. Intended for tests and debugging.
 func (c *Cache) Residents() []moe.ExpertRef {
-	out := make([]moe.ExpertRef, 0, len(c.entries))
-	for ref := range c.entries {
-		out = append(out, ref)
+	out := make([]moe.ExpertRef, 0, c.n)
+	for l, row := range c.byLayer {
+		for e, m := range row {
+			if m != nil {
+				out = append(out, moe.ExpertRef{Layer: l, Expert: e})
+			}
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
 }
 

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/raceflag"
+	"finemoe/internal/workload"
+)
+
+// TestRunStreamSteadyStateAllocs guards the streaming loop's per-request
+// allocation budget. The bound is deliberately loose against the
+// measured rate (a few dozen allocations per request, dominated by
+// result-row bookkeeping and policy state) — it exists to catch a
+// regression that reintroduces per-request maps, closures, or trace
+// materialization into the hot loop, not to pin an exact count.
+func TestRunStreamSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const n = 2000
+	m := moe.NewModel(moe.Tiny(), 11)
+	c := New(Options{
+		Engines: testEngines(m, 4),
+		Router:  NewLeastLoaded(),
+	})
+	src := workload.StreamOnline(streamDataset(31), moe.Tiny().SemDim,
+		workload.OnlineOptions{Arrivals: workload.BurstyMMPP(60), N: n, Seed: 5})
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res := c.RunStream(src)
+	runtime.ReadMemStats(&after)
+
+	if res.Served != n {
+		t.Fatalf("served %d of %d requests", res.Served, n)
+	}
+	perReq := float64(after.Mallocs-before.Mallocs) / float64(n)
+	t.Logf("steady-state allocations per request: %.1f", perReq)
+	const budget = 100
+	if perReq > budget {
+		t.Errorf("streaming loop allocates %.1f objects per request, budget %d", perReq, budget)
+	}
+}

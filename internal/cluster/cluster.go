@@ -223,6 +223,13 @@ type Cluster struct {
 	hedgedWins   int
 	lostInFlight int
 
+	// statesBuf is the reusable backing array for activeStates: the
+	// routable-fleet snapshot is rebuilt on every Offer and autoscale
+	// tick, and the policy contract (Admission/Router/Autoscaler docs)
+	// already forbids retaining the slice past the call, so one buffer
+	// serves the whole run.
+	statesBuf []InstanceState
+
 	now      float64
 	admitted int
 	rejected int
@@ -452,14 +459,17 @@ func (c *Cluster) States() []InstanceState {
 // (creation order), and each entry's ID is the instance's stable
 // identity, not its position. A crashed instance stays routable until
 // its crash is detected — the fleet cannot act on what it has not yet
-// observed.
+// observed. The returned slice aliases the cluster's snapshot buffer and
+// is valid only until the next Offer or autoscale tick (the same
+// lifetime the policy interfaces already promise their callees).
 func (c *Cluster) activeStates() []InstanceState {
-	out := make([]InstanceState, 0, len(c.instances))
+	out := c.statesBuf[:0]
 	for _, in := range c.instances {
 		if !in.Retiring && !in.Detected {
 			out = append(out, in.State())
 		}
 	}
+	c.statesBuf = out[:0]
 	return out
 }
 
@@ -701,29 +711,77 @@ func (c *Cluster) Drain() float64 {
 // continue through the final drain (so idle shrink happens) and stop once
 // the trace is exhausted, every follow-up has been offered, and every
 // instance is drained.
+//
+// RunTrace is RunStream over the trace's SliceSource — the streaming
+// loop IS the trace loop, so the two cannot diverge.
 func (c *Cluster) RunTrace(trace []workload.Request) *Result {
-	c.run(trace)
+	return c.RunStream(workload.NewSliceSource(trace))
+}
+
+// RunStream is RunTrace over a streaming workload source: arrivals are
+// drawn one at a time, so a multi-million-request horizon costs the
+// in-flight window's memory, not the trace's. The shared-clock loop only
+// ever needs the NEXT pending arrival — its time to schedule against
+// instance/fault/tick events (including the sharded loop's epoch-horizon
+// computation, which caps epochs at the next cluster-level event), and
+// its payload when the arrival wins — so a one-request lookahead cursor
+// over the source reproduces the materialized loop's event schedule
+// exactly; stream_test.go pins byte parity across every workload shape,
+// fault plan and worker count.
+func (c *Cluster) RunStream(src workload.Source) *Result {
+	c.run(src)
 	return c.Finalize()
 }
 
-// run is the shared-clock loop behind RunTrace (with a trace) and Drain
-// (without): it merges trace arrivals, injected follow-ups, autoscale
-// ticks and instance events until the trace is exhausted, the injected
-// queue is empty, and every instance is drained. With Workers > 1,
-// windows of consecutive instance events are executed as sharded parallel
-// epochs (shard.go); cluster-level events and the single-busy-instance
-// path stay on this goroutine, so the event schedule — and every result
-// byte — is identical across worker counts.
-func (c *Cluster) run(trace []workload.Request) {
+// reqCursor is the one-request lookahead window over a Source the
+// shared-clock loop schedules against.
+type reqCursor struct {
+	src workload.Source
+	cur workload.Request
+	ok  bool
+}
+
+func newReqCursor(src workload.Source) reqCursor {
+	k := reqCursor{src: src}
+	if src != nil {
+		k.cur, k.ok = src.Next()
+	}
+	return k
+}
+
+// peek returns the pending arrival's time, or +Inf when exhausted.
+//
+//finemoe:hotpath
+func (k *reqCursor) peek() float64 {
+	if !k.ok {
+		return math.Inf(1)
+	}
+	return k.cur.ArrivalMS
+}
+
+// pop consumes the pending arrival and advances the window, running the
+// source's generator (whose arena/block allocations are amortized).
+func (k *reqCursor) pop() workload.Request {
+	q := k.cur
+	k.cur, k.ok = k.src.Next()
+	return q
+}
+
+// run is the shared-clock loop behind RunStream/RunTrace (with a source)
+// and Drain (without): it merges source arrivals, injected follow-ups,
+// autoscale ticks and instance events until the source is exhausted, the
+// injected queue is empty, and every instance is drained. With Workers >
+// 1, windows of consecutive instance events are executed as sharded
+// parallel epochs (shard.go); cluster-level events and the
+// single-busy-instance path stay on this goroutine, so the event
+// schedule — and every result byte — is identical across worker counts.
+func (c *Cluster) run(src workload.Source) {
 	if c.workers > 1 {
 		defer c.stopPool()
 	}
-	next := 0
+	cursor := newReqCursor(src)
 	for {
-		tArr, fromTrace := math.Inf(1), true
-		if next < len(trace) {
-			tArr = trace[next].ArrivalMS
-		}
+		tArr, fromTrace := cursor.peek(), true
 		if len(c.injected) > 0 && c.injected[0].ArrivalMS < tArr {
 			tArr, fromTrace = c.injected[0].ArrivalMS, false
 		}
@@ -767,8 +825,7 @@ func (c *Cluster) run(trace []workload.Request) {
 		}
 		if tArr <= tTick && tArr <= tInst {
 			if fromTrace {
-				c.Offer(trace[next])
-				next++
+				c.Offer(cursor.pop())
 			} else {
 				c.Offer(c.popInjected())
 			}

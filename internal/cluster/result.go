@@ -108,7 +108,13 @@ func (c *Cluster) Finalize() *Result {
 	res.LostInFlight = c.lostInFlight
 	res.Crashes = c.crashes
 	res.FaultLog = c.flog
-	var ttfts, tpots, e2es []float64
+	// Latency vectors are chunked columns, not append-grown flat slices:
+	// at multi-million-request horizons a flat slice copies every sample
+	// O(log n) times across regrowths and transiently holds ~3× the
+	// column during the largest one, while the chunked column writes each
+	// sample once. Summaries stay byte-identical — Column.Summarize
+	// funnels into the same sorted-sample math as metrics.Summarize.
+	var ttfts, tpots, e2es metrics.Column
 	for _, in := range c.instances {
 		ir := in.Engine.Finalize()
 		res.Instances = append(res.Instances, InstanceResult{
@@ -126,10 +132,10 @@ func (c *Cluster) Finalize() *Result {
 				continue
 			}
 			res.Served++
-			ttfts = append(ttfts, q.TTFTms)
-			e2es = append(e2es, q.E2Ems)
+			ttfts.Append(q.TTFTms)
+			e2es.Append(q.E2Ems)
 			if q.OutputTokens > 1 {
-				tpots = append(tpots, q.TPOTms)
+				tpots.Append(q.TPOTms)
 			}
 		}
 		// Engine-level counts (batch-deduplicated), not per-request sums:
@@ -141,9 +147,9 @@ func (c *Cluster) Finalize() *Result {
 			res.WallClockMS = ir.WallClockMS
 		}
 	}
-	res.TTFT = metrics.Summarize(ttfts)
-	res.TPOT = metrics.Summarize(tpots)
-	res.E2E = metrics.Summarize(e2es)
+	res.TTFT = ttfts.Summarize()
+	res.TPOT = tpots.Summarize()
+	res.E2E = e2es.Summarize()
 	res.MeanTTFT = res.TTFT.Mean
 	res.MeanTPOT = res.TPOT.Mean
 	if res.Hits+res.Misses > 0 {

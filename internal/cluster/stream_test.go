@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"finemoe/internal/moe"
+	"finemoe/internal/serve"
+	"finemoe/internal/workload"
+)
+
+// streamVariant is one cell family of the streaming parity matrix: a
+// fleet configuration plus the same workload in materialized and
+// streaming form. Every builder is a pure function so repeated builds
+// are byte-comparable.
+type streamVariant struct {
+	name    string
+	cluster func(workers int) *Cluster
+	trace   func() []workload.Request
+	source  func() workload.Source
+}
+
+func streamDataset(seed uint64) workload.Dataset {
+	return workload.Dataset{
+		Name: "stream-test", Topics: 5, TopicSpread: 0.05,
+		MeanInput: 5, MeanOutput: 4, LenSigma: 0.3, Seed: seed,
+	}
+}
+
+func streamVariants() []streamVariant {
+	var out []streamVariant
+
+	// One variant per arrival process on a plain least-loaded fleet.
+	shapes := []struct {
+		name string
+		ap   workload.ArrivalProcess
+	}{
+		{"poisson", workload.Poisson{RatePerSec: 60}},
+		{"mmpp", workload.BurstyMMPP(60)},
+		{"diurnal", workload.DiurnalSwing(60)},
+		{"flash", workload.FlashSpike(60)},
+	}
+	for _, sh := range shapes {
+		d := streamDataset(31)
+		opt := workload.OnlineOptions{Arrivals: sh.ap, N: 48, Seed: 5}
+		out = append(out, streamVariant{
+			name: sh.name,
+			cluster: func(workers int) *Cluster {
+				m := moe.NewModel(moe.Tiny(), 11)
+				return New(Options{
+					Engines: testEngines(m, 4),
+					Router:  NewLeastLoaded(),
+					Workers: workers,
+				})
+			},
+			trace:  func() []workload.Request { return workload.OnlineTrace(d, moe.Tiny().SemDim, opt) },
+			source: func() workload.Source { return workload.StreamOnline(d, moe.Tiny().SemDim, opt) },
+		})
+	}
+
+	// Closed-loop multi-turn sessions: streamed openers, follow-ups
+	// injected through the hook on both paths.
+	sessVariant := func(name string, seed uint64, plan bool) streamVariant {
+		d := streamDataset(12)
+		mkSess := func() *workload.Sessions {
+			return workload.NewSessions(d, moe.Tiny().SemDim,
+				workload.SessionConfig{MeanTurns: 3, ThinkTimeS: 0.02, Drift: 0.03}, seed)
+		}
+		return streamVariant{
+			name: name,
+			cluster: func(workers int) *Cluster {
+				m := moe.NewModel(moe.Tiny(), 7)
+				sess := mkSess()
+				opts := Options{
+					Engines: testEngines(m, 4),
+					Router:  NewLeastLoaded(),
+					FollowUp: func(done serve.RequestMetrics, orig workload.Request) (workload.Request, bool) {
+						return sess.FollowUp(orig, done.EndMS)
+					},
+					EngineFactory: func(id int) *serve.Engine { return testEngines(m, 1)[0] },
+					Workers:       workers,
+				}
+				if plan {
+					opts.FaultPlan = gauntletPlan()
+					opts.Resilience = fullResilience()
+				}
+				return New(opts)
+			},
+			trace: func() []workload.Request {
+				return mkSess().Initial(workload.BurstyMMPP(60), 24, 0)
+			},
+			source: func() workload.Source {
+				return mkSess().StreamInitial(workload.BurstyMMPP(60), 24, 0)
+			},
+		}
+	}
+	out = append(out, sessVariant("sessions", 3, false))
+
+	// Multi-tenant mix, including the adversarial tenant.
+	tenants := []workload.TenantSpec{
+		{Name: "a", Dataset: streamDataset(21), Arrivals: workload.Poisson{RatePerSec: 40}, N: 20},
+		{Name: "b", Dataset: streamDataset(22), Arrivals: workload.BurstyMMPP(50), N: 16},
+		workload.AdversarialTenant("abuser", 20, 12, 9),
+	}
+	out = append(out, streamVariant{
+		name: "tenants",
+		cluster: func(workers int) *Cluster {
+			m := moe.NewModel(moe.Tiny(), 13)
+			return New(Options{
+				Engines:   testEngines(m, 4),
+				Admission: NewTokenBucket(24, 45),
+				Router:    NewRoundRobin(),
+				Workers:   workers,
+			})
+		},
+		trace: func() []workload.Request {
+			return workload.MultiTenantTrace(moe.Tiny().SemDim, 17, tenants)
+		},
+		source: func() workload.Source {
+			return workload.StreamMultiTenant(moe.Tiny().SemDim, 17, tenants)
+		},
+	})
+
+	// Fault plan + full resilience over a streamed trace.
+	out = append(out, streamVariant{
+		name: "faults",
+		cluster: func(workers int) *Cluster {
+			c, _ := faultCluster(workers, fullResilience())
+			return c
+		},
+		trace: func() []workload.Request {
+			_, trace := faultCluster(0, fullResilience())
+			return trace
+		},
+		source: func() workload.Source {
+			_, trace := faultCluster(0, fullResilience())
+			return workload.NewSliceSource(trace)
+		},
+	})
+
+	// Everything at once: sessions + fault plan + resilience + growth.
+	out = append(out, sessVariant("combo", 19, true))
+
+	return out
+}
+
+// runStreamBytes runs one cell and returns the JSON-encoded result.
+func runStreamBytes(t *testing.T, c *Cluster, run func(c *Cluster) *Result) []byte {
+	t.Helper()
+	res := run(c)
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if res.Served == 0 {
+		t.Fatal("degenerate cell served nothing")
+	}
+	return b
+}
+
+// TestRunStreamByteParity is the streaming tentpole's contract: for every
+// workload shape (all four arrival processes, closed-loop sessions,
+// multi-tenant mixes, fault plans with resilience, and the combination)
+// and every worker count in {0, 1, 2, 4}, RunStream over the generator
+// source produces a ClusterResult byte-identical to RunTrace over the
+// materialized trace on the serial loop.
+func TestRunStreamByteParity(t *testing.T) {
+	for _, v := range streamVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			serial := runStreamBytes(t, v.cluster(0), func(c *Cluster) *Result {
+				return c.RunTrace(v.trace())
+			})
+			for _, w := range []int{0, 1, 2, 4} {
+				got := runStreamBytes(t, v.cluster(w), func(c *Cluster) *Result {
+					return c.RunStream(v.source())
+				})
+				if string(got) != string(serial) {
+					t.Fatalf("workers=%d: streaming run diverges from materialized serial run (%d vs %d bytes)",
+						w, len(got), len(serial))
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,10 @@ type ExpertMap struct {
 	// prefixNorm2[l] caches ||Traj[0 : (l+1)·J]||² so trajectory-prefix
 	// cosine search is O(J) per layer instead of O(l·J).
 	prefixNorm2 []float64
+	// semNorm2 caches ||Sem||², accumulated in CosineF32's element order,
+	// so redundancy scoring pays one fused dot per cosine instead of
+	// three accumulations (see tensor.DotF32's bit-identity contract).
+	semNorm2 float64
 }
 
 // NewExpertMap builds a map from an observed iteration.
@@ -55,6 +59,7 @@ func NewExpertMap(cfg moe.Config, reqID uint64, it *moe.Iteration) *ExpertMap {
 		}
 	}
 	m.buildPrefixNorms(cfg.RoutedExperts)
+	m.semNorm2 = tensor.Norm2F32(m.Sem)
 	return m
 }
 
@@ -83,6 +88,7 @@ func RandomExpertMap(cfg moe.Config, reqID uint64, seed uint64) *ExpertMap {
 		}
 	}
 	m.buildPrefixNorms(cfg.RoutedExperts)
+	m.semNorm2 = tensor.Norm2F32(m.Sem)
 	return m
 }
 
@@ -103,6 +109,14 @@ func (m *ExpertMap) LayerProbs(l, j int) []float64 {
 	return tensor.Float64s(m.Traj[l*j : (l+1)*j])
 }
 
+// LayerProbsInto widens layer l's stored distribution into dst (length j)
+// without allocating — the hot-path form of LayerProbs.
+//
+//finemoe:hotpath
+func (m *ExpertMap) LayerProbsInto(l, j int, dst []float64) {
+	tensor.Float64sInto(m.Traj[l*j:(l+1)*j], dst)
+}
+
 // Bytes returns the paper-accounted storage size of this map: trajectory
 // plus embedding at 4 bytes per value (Fig. 18).
 func (m *ExpertMap) Bytes() int64 { return int64(len(m.Traj)+len(m.Sem)) * 4 }
@@ -119,7 +133,10 @@ type Store struct {
 	cfg      moe.Config
 	capacity int
 	// d is the prefetch distance used to weight semantic vs trajectory
-	// redundancy: RDY = d/L·sem + (L−d)/L·traj (§4.4).
+	// redundancy: RDY = d/L·sem + (L−d)/L·traj (§4.4). semW caches
+	// d/L — Redundancy runs once per stored map per insertion, so the
+	// division is hoisted out of the dedup scan.
+	semW float64
 	d    int
 	maps []*ExpertMap
 
@@ -161,6 +178,7 @@ func NewStore(cfg moe.Config, capacity, prefetchDistance int) *Store {
 		cfg:         cfg,
 		capacity:    capacity,
 		d:           prefetchDistance,
+		semW:        float64(prefetchDistance) / float64(cfg.Layers),
 		index:       newSemIndex(cfg.SemDim, capacity),
 		dedupSample: 96,
 		sampleRNG:   rng.New(rng.Mix(0x57, uint64(capacity))),
@@ -228,9 +246,47 @@ func (s *Store) AddIteration(reqID uint64, it *moe.Iteration) {
 }
 
 // Redundancy returns RDY(a,b) = d/L·cos(sem) + (L−d)/L·cos(traj) (§4.4).
+// Both cosines run as one fused dot against norms cached at map
+// construction (semNorm2, the full-trajectory prefixNorm2 entry), which
+// tensor.DotF32/CosineWithNorms document as bit-identical to CosineF32 —
+// the dot and each norm are independent accumulator chains over the same
+// element order.
+//
+//finemoe:hotpath
 func (s *Store) Redundancy(a, b *ExpertMap) float64 {
-	w := float64(s.d) / float64(s.cfg.Layers)
-	return w*tensor.CosineF32(a.Sem, b.Sem) + (1-w)*tensor.CosineF32(a.Traj, b.Traj)
+	w := s.semW
+	sem := tensor.CosineWithNorms(tensor.DotF32(a.Sem, b.Sem), a.semNorm2, b.semNorm2)
+	traj := tensor.CosineWithNorms(tensor.DotF32(a.Traj, b.Traj),
+		a.prefixNorm2[len(a.prefixNorm2)-1], b.prefixNorm2[len(b.prefixNorm2)-1])
+	return w*sem + (1-w)*traj
+}
+
+// trajCosBound is a sound upper bound on any CosineWithNorms result: the
+// true cosine is ≤ 1 and the fused dot/norm evaluation perturbs it by at
+// most a few ULPs, orders of magnitude under this slack. redundancyAbove
+// uses it to skip trajectory dots that provably cannot affect the
+// dedup argmax.
+const trajCosBound = 1 + 1e-9
+
+// redundancyAbove returns Redundancy(a, b) when it can exceed bestScore,
+// and (anything ≤ bestScore, false) when it provably cannot. The dedup
+// scan replaces on strict r > bestScore, so skipping entries whose upper
+// bound w·sem + (1−w)·trajCosBound is ≤ bestScore selects exactly the
+// index the full scan would: FP multiplication by the nonnegative (1−w)
+// and the final addition are both monotone, so the bound dominates the
+// true score, and a NaN bound falls through to the full evaluation,
+// which loses the strict comparison just as it does unpruned.
+//
+//finemoe:hotpath
+func (s *Store) redundancyAbove(a, b *ExpertMap, bestScore float64) (float64, bool) {
+	w := s.semW
+	sem := tensor.CosineWithNorms(tensor.DotF32(a.Sem, b.Sem), a.semNorm2, b.semNorm2)
+	if w <= 1 && w*sem+(1-w)*trajCosBound <= bestScore {
+		return bestScore, false
+	}
+	traj := tensor.CosineWithNorms(tensor.DotF32(a.Traj, b.Traj),
+		a.prefixNorm2[len(a.prefixNorm2)-1], b.prefixNorm2[len(b.prefixNorm2)-1])
+	return w*sem + (1-w)*traj, true
 }
 
 func (s *Store) mostRedundantLocked(m *ExpertMap) int {
@@ -239,14 +295,14 @@ func (s *Store) mostRedundantLocked(m *ExpertMap) int {
 	if s.dedupSample > 0 && s.dedupSample < n {
 		for k := 0; k < s.dedupSample; k++ {
 			i := s.sampleRNG.Intn(n)
-			if r := s.Redundancy(m, s.maps[i]); r > bestScore {
+			if r, ok := s.redundancyAbove(m, s.maps[i], bestScore); ok && r > bestScore {
 				bestIdx, bestScore = i, r
 			}
 		}
 		return bestIdx
 	}
 	for i, old := range s.maps {
-		if r := s.Redundancy(m, old); r > bestScore {
+		if r, ok := s.redundancyAbove(m, old, bestScore); ok && r > bestScore {
 			bestIdx, bestScore = i, r
 		}
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"finemoe/internal/cache"
 	"finemoe/internal/moe"
 	"finemoe/internal/policy"
@@ -59,16 +57,34 @@ type FineMoE struct {
 	cfg      moe.Config
 	d        int
 
-	mu sync.Mutex
+	// All mutable policy state below is guarded by the engine's
+	// single-threaded hook discipline, not a lock: an Engine steps its
+	// policy from one goroutine at a time (httpserve serializes each
+	// instance behind its own mutex; the sharded cluster hands engines
+	// between workers through channels, which order the accesses), and
+	// the cache calls Score back on the same hook path. A FineMoE
+	// instance is never shared across engines.
+	//
 	// reqs tracks per-request iteration state (trajectory cursors).
 	reqs map[uint64]*reqState
+	// stFree recycles reqState records: StartIteration builds one per
+	// batch member per iteration, so without reuse the policy would
+	// allocate on every decode step.
+	stFree []*reqState
 	// predProb is the eviction signal: the probability the most recent
-	// searched maps assigned to each expert (§4.5 eviction priority).
-	predProb map[moe.ExpertRef]float64
+	// searched maps assigned to each expert (§4.5 eviction priority),
+	// indexed densely by Config.RefID. A missing map entry read as 0;
+	// the dense slot's zero value preserves that exactly.
+	predProb []float64
 	// curLayer tracks the inference pipeline's layer phase so eviction
 	// can respect the layer-sequential access pattern §4.5 calls out:
 	// experts of just-computed layers are farthest from their next use.
 	curLayer int
+	// Per-call selection scratch: the widened layer distribution, the
+	// TopKInto order, and the selected set.
+	probsBuf []float64
+	orderBuf []int
+	selBuf   []int
 }
 
 type reqState struct {
@@ -108,7 +124,10 @@ func NewFineMoE(store *Store, opts Options) *FineMoE {
 		cfg:      cfg,
 		d:        d,
 		reqs:     map[uint64]*reqState{},
-		predProb: map[moe.ExpertRef]float64{},
+		predProb: make([]float64, cfg.Layers*cfg.RoutedExperts),
+		probsBuf: make([]float64, cfg.RoutedExperts),
+		orderBuf: make([]int, 0, cfg.RoutedExperts),
+		selBuf:   make([]int, 0, cfg.RoutedExperts),
 	}
 }
 
@@ -137,10 +156,8 @@ func (f *FineMoE) Scorer() cache.Scorer {
 // iteration, so it is the best victim; an expert a few layers ahead is the
 // worst.
 func (f *FineMoE) Score(ref moe.ExpertRef, m cache.Meta, _ float64) float64 {
-	f.mu.Lock()
-	p := f.predProb[ref]
+	p := f.predProb[f.cfg.RefID(ref)]
 	cur := f.curLayer
-	f.mu.Unlock()
 	distToUse := ref.Layer - cur
 	if distToUse < 0 {
 		distToUse += f.cfg.Layers
@@ -153,9 +170,15 @@ func (f *FineMoE) MemoryOverheadBytes() int64 { return f.store.MemoryBytes() }
 
 // selectAndPrefetch picks the experts for one target layer from a searched
 // map and enqueues transfers. prefill widens the selection to cover the
-// token union.
+// token union. Selection runs entirely in policy-owned scratch — the
+// widened distribution, ordering, and selected set reuse the same three
+// buffers every call — via the Into kernels, whose results element-equal
+// the allocating originals.
+//
+//finemoe:hotpath
 func (f *FineMoE) selectAndPrefetch(res SearchResult, targetLayer, lNow int, issueAt float64, prefill bool) {
-	probs := res.Map.LayerProbs(targetLayer, f.cfg.RoutedExperts)
+	probs := f.probsBuf
+	res.Map.LayerProbsInto(targetLayer, f.cfg.RoutedExperts, probs)
 	var sel []int
 	switch {
 	case prefill:
@@ -167,18 +190,15 @@ func (f *FineMoE) selectAndPrefetch(res SearchResult, targetLayer, lNow int, iss
 		if thr < floor {
 			thr = floor
 		}
-		sel = tensor.CumulativeTopSet(probs, thr, f.cfg.TopK)
+		sel = tensor.CumulativeTopSetInto(probs, thr, f.cfg.TopK, f.orderBuf[:cap(f.orderBuf)], f.selBuf[:cap(f.selBuf)])
 	case f.opts.DisableDynamicThreshold:
-		sel = SelectExpertsStatic(probs, f.cfg.TopK)
+		sel = tensor.TopKInto(probs, f.cfg.TopK, f.orderBuf[:cap(f.orderBuf)])
 	default:
-		sel = SelectExperts(probs, res.Score, f.cfg.TopK)
+		sel = tensor.CumulativeTopSetInto(probs, Threshold(res.Score), f.cfg.TopK, f.orderBuf[:cap(f.orderBuf)], f.selBuf[:cap(f.selBuf)])
 	}
-	f.mu.Lock()
 	for _, j := range sel {
-		ref := moe.ExpertRef{Layer: targetLayer, Expert: j}
-		f.predProb[ref] = probs[j]
+		f.predProb[f.cfg.ExpertID(targetLayer, j)] = probs[j]
 	}
-	f.mu.Unlock()
 	for _, j := range sel {
 		ref := moe.ExpertRef{Layer: targetLayer, Expert: j}
 		if f.RT.Resident(ref) || f.RT.Tracked(ref) {
@@ -210,7 +230,8 @@ func (f *FineMoE) StartIteration(views []policy.IterView, now float64) float64 {
 	var syncDelay float64
 	for _, v := range views {
 		f.Account(policy.CompCollect, 0.05)
-		st := &reqState{isPrefill: v.IsPrefill}
+		st := f.newReqState()
+		st.isPrefill = v.IsPrefill
 		// One float32 conversion serves the semantic search and the
 		// trajectory cursor (the seed converted the embedding twice).
 		q := f.searcher.Prepare(v.Semantic)
@@ -244,21 +265,40 @@ func (f *FineMoE) StartIteration(views []policy.IterView, now float64) float64 {
 		}
 		st.cursor = f.searcher.NewCursorQ(q)
 		q.Release()
-		f.mu.Lock()
-		if old := f.reqs[v.ReqID]; old != nil && old.cursor != nil {
-			old.cursor.Release()
+		if old := f.reqs[v.ReqID]; old != nil {
+			if old.cursor != nil {
+				old.cursor.Release()
+			}
+			f.freeReqState(old)
 		}
 		f.reqs[v.ReqID] = st
-		f.mu.Unlock()
 	}
 	return syncDelay
+}
+
+// newReqState pops the reqState free list, allocating only while it warms.
+//
+//finemoe:allocok grows the reqState free list only until it covers the peak batch; steady-state iterations recycle the previous iteration's record
+func (f *FineMoE) newReqState() *reqState {
+	if n := len(f.stFree); n > 0 {
+		st := f.stFree[n-1]
+		f.stFree[n-1] = nil
+		f.stFree = f.stFree[:n-1]
+		return st
+	}
+	return &reqState{}
+}
+
+// freeReqState recycles a record no longer reachable from f.reqs.
+func (f *FineMoE) freeReqState(st *reqState) {
+	*st = reqState{}
+	f.stFree = append(f.stFree, st)
 }
 
 // OnGate implements trajectory-based search (§4.2.2): the observed gate
 // distribution extends the request's trajectory prefix and the best-match
 // map guides prefetching for layer l+d.
 func (f *FineMoE) OnGate(layer int, views []policy.LayerView, now float64) float64 {
-	f.mu.Lock()
 	f.curLayer = layer
 	// Fold the observed gate distribution into the eviction signal: the
 	// probability p in 1/(p·freq) is the gate's preference for the
@@ -268,20 +308,17 @@ func (f *FineMoE) OnGate(layer int, views []policy.LayerView, now float64) float
 	// cache's temporal locality could help them.
 	for _, v := range views {
 		for j, p := range v.Probs {
-			ref := moe.ExpertRef{Layer: layer, Expert: j}
-			if decayed := f.predProb[ref] * 0.7; p > decayed {
-				f.predProb[ref] = p
+			id := f.cfg.ExpertID(layer, j)
+			if decayed := f.predProb[id] * 0.7; p > decayed {
+				f.predProb[id] = p
 			} else {
-				f.predProb[ref] = decayed
+				f.predProb[id] = decayed
 			}
 		}
 	}
-	f.mu.Unlock()
 	var syncDelay float64
 	for _, v := range views {
-		f.mu.Lock()
 		st := f.reqs[v.ReqID]
-		f.mu.Unlock()
 		if st == nil || st.cursor == nil {
 			continue
 		}
@@ -322,10 +359,11 @@ func (f *FineMoE) EndIteration(reqID uint64, it *moe.Iteration, _ float64) float
 // EndRequest drops per-request state, recycling the trajectory cursor's
 // pooled score buffers.
 func (f *FineMoE) EndRequest(reqID uint64, _ float64) {
-	f.mu.Lock()
-	if st := f.reqs[reqID]; st != nil && st.cursor != nil {
-		st.cursor.Release()
+	if st := f.reqs[reqID]; st != nil {
+		if st.cursor != nil {
+			st.cursor.Release()
+		}
+		f.freeReqState(st)
 	}
 	delete(f.reqs, reqID)
-	f.mu.Unlock()
 }

@@ -291,8 +291,13 @@ func (c *Cursor) Observe(probs []float64) {
 		panic("core: cursor observed wrong expert count")
 	}
 	base := c.layers * c.j
+	// probs[:j] pins the loop bound to the row length the slice expression
+	// below constructs, so the compiler drops the row[k] bounds checks in
+	// the dot kernel (the length equality was asserted above).
+	j := c.j
+	probs = probs[:j]
 	for i, m := range c.cands {
-		row := m.Traj[base : base+c.j]
+		row := m.Traj[base : base+j]
 		var d float64
 		for k, p := range probs {
 			d += p * float64(row[k])

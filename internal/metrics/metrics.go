@@ -25,6 +25,14 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	s := append([]float64(nil), xs...)
+	return summarizeOwned(s)
+}
+
+// summarizeOwned sorts s in place and summarizes it. Both Summarize and
+// Column.Summarize funnel here, so the statistics are computed by the
+// same float operations in the same order regardless of how the sample
+// was stored.
+func summarizeOwned(s []float64) Summary {
 	sort.Float64s(s)
 	var sum, sumSq float64
 	for _, v := range s {
@@ -42,6 +50,50 @@ func Summarize(xs []float64) Summary {
 		P50: Percentile(s, 0.50), P90: Percentile(s, 0.90), P99: Percentile(s, 0.99),
 		Std: math.Sqrt(variance),
 	}
+}
+
+// columnChunk is the number of float64s per Column chunk.
+const columnChunk = 1 << 16
+
+// Column is an append-only float64 sample stored in fixed-size chunks.
+// An append-grown flat slice copies every element O(log n) times as the
+// backing array doubles and briefly holds ~3× the sample during the
+// largest regrowth; a chunked column writes each element exactly once and
+// its peak overhead is one 64Ki chunk, which is what lets multi-million
+// request cluster runs aggregate latencies without the allocator churn
+// dominating the run's heap profile.
+type Column struct {
+	chunks [][]float64
+	n      int
+}
+
+// Append adds one sample value.
+func (c *Column) Append(v float64) {
+	if c.n == len(c.chunks)*columnChunk {
+		c.chunks = append(c.chunks, make([]float64, 0, columnChunk))
+	}
+	last := len(c.chunks) - 1
+	c.chunks[last] = append(c.chunks[last], v)
+	c.n++
+}
+
+// Len returns the number of appended values.
+func (c *Column) Len() int { return c.n }
+
+// Summarize computes the same Summary Summarize would over the flattened
+// column: the sample is gathered once into an exact-size slice (the only
+// full-sample allocation the column ever makes) and summarized by the
+// shared sorted-sample path, so the result is byte-identical to
+// Summarize(flattened).
+func (c *Column) Summarize() Summary {
+	if c.n == 0 {
+		return Summary{}
+	}
+	s := make([]float64, 0, c.n)
+	for _, ch := range c.chunks {
+		s = append(s, ch...)
+	}
+	return summarizeOwned(s)
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample using

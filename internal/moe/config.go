@@ -256,14 +256,16 @@ type ExpertRef struct {
 }
 
 // ExpertID flattens a (layer, expert) pair into a dense identifier in
-// [0, NumExperts).
-func (c Config) ExpertID(layer, expert int) int { return layer*c.RoutedExperts + expert }
+// [0, NumExperts). Pointer receiver: these run on cache-lookup and
+// eviction-scoring hot paths where a value receiver would copy the whole
+// Config per call.
+func (c *Config) ExpertID(layer, expert int) int { return layer*c.RoutedExperts + expert }
 
 // RefID flattens an ExpertRef.
-func (c Config) RefID(ref ExpertRef) int { return c.ExpertID(ref.Layer, ref.Expert) }
+func (c *Config) RefID(ref ExpertRef) int { return c.ExpertID(ref.Layer, ref.Expert) }
 
 // ExpertLoc inverts ExpertID.
-func (c Config) ExpertLoc(id int) (layer, expert int) {
+func (c *Config) ExpertLoc(id int) (layer, expert int) {
 	return id / c.RoutedExperts, id % c.RoutedExperts
 }
 

@@ -76,11 +76,15 @@ func hashString(s string) uint64 {
 // GateProbs writes layer's routing distribution for hidden state u into dst
 // (length RoutedExperts). This is the ground-truth gate; baselines use it
 // through Speculate.
+// It is allocation-free: the logits are materialized in dst itself and
+// softmaxed in place (Softmax documents that dst may alias logits), which
+// leaves every float64 operation and its order unchanged.
+//
+//finemoe:hotpath
 func (m *Model) GateProbs(u []float64, layer int, dst []float64) {
 	cfg := m.Cfg
-	logits := make([]float64, cfg.RoutedExperts)
-	tensor.MatVec(m.gateW[layer], cfg.RoutedExperts, cfg.SemDim, u, logits)
-	tensor.Softmax(logits, cfg.InvTemp, dst)
+	tensor.MatVec(m.gateW[layer], cfg.RoutedExperts, cfg.SemDim, u, dst)
+	tensor.Softmax(dst, cfg.InvTemp, dst)
 }
 
 // Speculate predicts targetLayer's routing distribution from a hidden state
@@ -145,27 +149,88 @@ type RequestSim struct {
 	x    []float64 // current latent iteration state
 	iter int
 
-	// scratch
-	drift []float64
-	u     []float64
+	// scratch, reused across iterations (and across requests when the sim
+	// itself is reused through a Tracer). Every buffer is fully overwritten
+	// before use, so reuse cannot change any produced value.
+	drift  []float64
+	u      []float64
+	obs    []float64 // observation / iteration-noise direction scratch
+	tok    []float64 // conversation-path token scratch
+	eta    []float64 // per-layer noise scratch
+	probs  []float64 // prefill per-token gate scratch
+	order  []int     // TopKInto index scratch
+	seen   []bool    // prefill expert-union membership scratch
+	states []float64 // prefill per-token hidden states, flat n×SemDim
+
+	// Memoized walk ingredients (see walkLayer). promptEta holds the
+	// per-layer prompt noise η_prompt(l), flat Layers×SemDim: it is a
+	// function of (request seed, layer) alone, so one row per layer
+	// serves every prompt token and every decode iteration. drift and
+	// iterEta are keyed by the (iteration, layer) pair below — prefill
+	// walks the same layer once per prompt token and would otherwise
+	// recompute identical values for each.
+	promptEta             []float64
+	iterEta               []float64
+	driftIter, driftLayer int
+	etaIter, etaLayer     int
 }
 
 // NewRequest starts simulating a request. It panics if the embedding
 // dimension does not match the model.
 func (m *Model) NewRequest(spec PromptSpec) *RequestSim {
+	r := &RequestSim{}
+	r.Reset(m, spec)
+	return r
+}
+
+// Reset re-arms the sim for a new request, reusing its scratch buffers.
+// It panics under the same conditions as NewRequest.
+func (r *RequestSim) Reset(m *Model, spec PromptSpec) {
 	if len(spec.Embedding) != m.Cfg.SemDim {
 		panic(fmt.Sprintf("moe: embedding dim %d != SemDim %d", len(spec.Embedding), m.Cfg.SemDim))
 	}
 	if spec.InputTokens <= 0 || spec.OutputTokens <= 0 {
 		panic("moe: request must have positive input and output token counts")
 	}
-	return &RequestSim{
-		m:     m,
-		spec:  spec,
-		x:     tensor.Copy(spec.Embedding),
-		drift: make([]float64, m.Cfg.SemDim),
-		u:     make([]float64, m.Cfg.SemDim),
+	dim, j := m.Cfg.SemDim, m.Cfg.RoutedExperts
+	r.m, r.spec, r.iter = m, spec, 0
+	r.x = resizeF64(r.x, dim)
+	copy(r.x, spec.Embedding)
+	r.drift = resizeF64(r.drift, dim)
+	r.u = resizeF64(r.u, dim)
+	r.obs = resizeF64(r.obs, dim)
+	r.tok = resizeF64(r.tok, dim)
+	r.eta = resizeF64(r.eta, dim)
+	r.probs = resizeF64(r.probs, j)
+	if cap(r.order) < j {
+		r.order = make([]int, 0, j)
 	}
+	if cap(r.seen) < j {
+		r.seen = make([]bool, j)
+	}
+	r.seen = r.seen[:j]
+	// Draw the per-layer prompt noise up front: each row comes from its
+	// own Seeded generator exactly as the per-call draws did, so hoisting
+	// the draws to Reset reproduces the same bytes while every later
+	// walkLayer call becomes a reuse.
+	layers := m.Cfg.Layers
+	r.promptEta = resizeF64(r.promptEta, layers*dim)
+	for l := 0; l < layers; l++ {
+		g := rng.Seeded(rng.Mix(spec.Seed, keyPromptLayer, uint64(l)))
+		g.UnitVec(r.promptEta[l*dim : (l+1)*dim])
+	}
+	r.iterEta = resizeF64(r.iterEta, dim)
+	r.driftIter, r.driftLayer = -1, -1
+	r.etaIter, r.etaLayer = -1, -1
+}
+
+// resizeF64 returns a slice of length n, reusing v's backing array when it
+// is large enough.
+func resizeF64(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
 }
 
 // TotalIterations returns the number of iterations the request spans:
@@ -184,26 +249,58 @@ func (r *RequestSim) Done() bool { return r.iter >= r.TotalIterations() }
 // Spec returns the request's prompt specification.
 func (r *RequestSim) Spec() PromptSpec { return r.spec }
 
+// ensureShape sizes the iteration's per-layer buffers for cfg, reusing
+// existing backing arrays when their capacities allow — the mechanism that
+// lets a Tracer recycle iterations of completed requests without a single
+// steady-state allocation.
+func (it *Iteration) ensureShape(cfg Config) {
+	layers, j, dim := cfg.Layers, cfg.RoutedExperts, cfg.SemDim
+	if cap(it.Probs) < layers {
+		it.Probs = make([][]float64, layers)
+	}
+	it.Probs = it.Probs[:layers]
+	if cap(it.Active) < layers {
+		it.Active = make([][]int, layers)
+	}
+	it.Active = it.Active[:layers]
+	if cap(it.Hidden) < layers {
+		it.Hidden = make([][]float64, layers)
+	}
+	it.Hidden = it.Hidden[:layers]
+	for l := 0; l < layers; l++ {
+		it.Probs[l] = resizeF64(it.Probs[l], j)
+		it.Hidden[l] = resizeF64(it.Hidden[l], dim)
+		if cap(it.Active[l]) < j {
+			it.Active[l] = make([]int, 0, j)
+		}
+	}
+	it.Semantic = resizeF64(it.Semantic, dim)
+}
+
 // Next produces the next iteration. It panics if called after Done.
 func (r *RequestSim) Next() *Iteration {
+	return r.NextInto(new(Iteration))
+}
+
+// NextInto produces the next iteration into it, reusing its buffers
+// (ensureShape). The values written are bit-identical to Next's: every
+// reused buffer is fully overwritten (or explicitly zeroed where the seed
+// accumulated into a fresh slice) before use.
+func (r *RequestSim) NextInto(it *Iteration) *Iteration {
 	if r.Done() {
 		panic("moe: Next called on finished request")
 	}
 	cfg := r.m.Cfg
-	it := &Iteration{
-		Index:  r.iter,
-		Probs:  make([][]float64, cfg.Layers),
-		Active: make([][]int, cfg.Layers),
-		Hidden: make([][]float64, cfg.Layers),
-	}
+	it.ensureShape(cfg)
+	it.Index = r.iter
 
 	// Observed semantic embedding: latent state + observation noise.
-	sem := tensor.Copy(r.x)
-	obs := make([]float64, cfg.SemDim)
-	rng.New(rng.Mix(r.spec.Seed, keySemObs, uint64(r.iter))).UnitVec(obs)
-	tensor.Axpy(cfg.SemObsNoise, obs, sem)
+	sem := it.Semantic
+	copy(sem, r.x)
+	g := rng.Seeded(rng.Mix(r.spec.Seed, keySemObs, uint64(r.iter)))
+	g.UnitVec(r.obs)
+	tensor.Axpy(cfg.SemObsNoise, r.obs, sem)
 	tensor.Normalize(sem)
-	it.Semantic = sem
 
 	if r.iter == 0 {
 		r.prefill(it)
@@ -218,13 +315,13 @@ func (r *RequestSim) Next() *Iteration {
 	// match — with prompt-unique token noise. The cumulative walk is what
 	// blurs request-level aggregates (Fig. 3c) without destroying
 	// iteration-level searchability.
-	tok := make([]float64, cfg.SemDim)
+	tok := r.tok
 	pathIdx := int(uint(r.iter*7+3)) % cfg.Layers
 	r.m.driftDir(pathIdx, r.spec.Embedding, tok)
 	tensor.Scale(cfg.PathShare, tok)
-	eta := make([]float64, cfg.SemDim)
-	rng.New(rng.Mix(r.spec.Seed, keyIterTok, uint64(r.iter))).UnitVec(eta)
-	tensor.Axpy(1-cfg.PathShare, eta, tok)
+	g = rng.Seeded(rng.Mix(r.spec.Seed, keyIterTok, uint64(r.iter)))
+	g.UnitVec(r.eta)
+	tensor.Axpy(1-cfg.PathShare, r.eta, tok)
 	tensor.Normalize(tok)
 
 	tensor.Scale(1-cfg.IterAnchor-cfg.IterNoise, r.x)
@@ -238,32 +335,50 @@ func (r *RequestSim) Next() *Iteration {
 
 // walkLayer advances hidden state u through layer l's drift field:
 // u ← normalize(u + σ_d·drift(x) + σ_p·η_prompt(l) + σ_q·η_iter(l)).
+//
+//finemoe:hotpath
 func (r *RequestSim) walkLayer(u []float64, l, iter int) {
 	cfg := r.m.Cfg
-	r.m.driftDir(l, r.x, r.drift)
+	// The drift direction is a pure function of (layer, r.x), and r.x is
+	// constant within an iteration — prefill calls this once per prompt
+	// token per layer, so only the first call of an (iteration, layer)
+	// pair computes. Memoization replays the identical MatVec+Normalize
+	// output and consumes no RNG draws, so every produced byte matches
+	// the recompute-every-call path.
+	if r.driftIter != iter || r.driftLayer != l {
+		r.m.driftDir(l, r.x, r.drift)
+		r.driftIter, r.driftLayer = iter, l
+	}
 	tensor.Axpy(cfg.LayerDrift, r.drift, u)
 
-	eta := make([]float64, cfg.SemDim)
-	rng.New(rng.Mix(r.spec.Seed, keyPromptLayer, uint64(l))).UnitVec(eta)
-	tensor.Axpy(cfg.PromptNoise, eta, u)
+	// η_prompt(l) was drawn once at Reset (same Seeded generator, same
+	// draw sequence as a per-call draw).
+	dim := cfg.SemDim
+	tensor.Axpy(cfg.PromptNoise, r.promptEta[l*dim:(l+1)*dim], u)
 
-	rng.New(rng.Mix(r.spec.Seed, keyIterLayer, uint64(iter), uint64(l))).UnitVec(eta)
-	tensor.Axpy(cfg.IterLayerNoise, eta, u)
+	// η_iter(iter, l) likewise repeats across prefill's token loop.
+	if r.etaIter != iter || r.etaLayer != l {
+		g := rng.Seeded(rng.Mix(r.spec.Seed, keyIterLayer, uint64(iter), uint64(l)))
+		g.UnitVec(r.iterEta)
+		r.etaIter, r.etaLayer = iter, l
+	}
+	tensor.Axpy(cfg.IterLayerNoise, r.iterEta, u)
 
 	tensor.Normalize(u)
 }
 
 // decode runs a single-token iteration.
+//
+//finemoe:hotpath
 func (r *RequestSim) decode(it *Iteration) {
 	cfg := r.m.Cfg
 	copy(r.u, r.x)
 	for l := 0; l < cfg.Layers; l++ {
 		r.walkLayer(r.u, l, it.Index)
-		it.Hidden[l] = tensor.Copy(r.u)
-		p := make([]float64, cfg.RoutedExperts)
+		copy(it.Hidden[l], r.u)
+		p := it.Probs[l]
 		r.m.GateProbs(r.u, l, p)
-		it.Probs[l] = p
-		it.Active[l] = tensor.TopK(p, cfg.TopK)
+		it.Active[l] = append(it.Active[l][:0], tensor.TopKInto(p, cfg.TopK, r.order[:cap(r.order)])...)
 	}
 	it.Tokens = 1
 }
@@ -276,52 +391,61 @@ func (r *RequestSim) prefill(it *Iteration) {
 	n := r.spec.InputTokens
 	it.Tokens = n
 
-	// Per-token starting states around the prompt embedding.
-	states := make([][]float64, n)
+	// Per-token starting states around the prompt embedding, flat in the
+	// sim's scratch arena (the only per-request growth: the longest prompt
+	// seen sizes the buffer once).
+	if cap(r.states) < n*cfg.SemDim {
+		r.states = make([]float64, n*cfg.SemDim)
+	}
+	states := r.states[:n*cfg.SemDim]
 	for k := 0; k < n; k++ {
-		v := tensor.Copy(r.x)
-		eta := make([]float64, cfg.SemDim)
-		rng.New(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k))).UnitVec(eta)
-		tensor.Axpy(cfg.PrefillTokenNoise, eta, v)
+		v := states[k*cfg.SemDim : (k+1)*cfg.SemDim]
+		copy(v, r.x)
+		g := rng.Seeded(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k)))
+		g.UnitVec(r.obs)
+		tensor.Axpy(cfg.PrefillTokenNoise, r.obs, v)
 		tensor.Normalize(v)
-		states[k] = v
 	}
 
-	probs := make([]float64, cfg.RoutedExperts)
-	tokEta := make([]float64, cfg.SemDim)
+	probs := r.probs
 	for l := 0; l < cfg.Layers; l++ {
-		mean := make([]float64, cfg.RoutedExperts)
-		var active []int
-		seen := make(map[int]bool, cfg.RoutedExperts)
-		var meanHidden []float64
+		mean := it.Probs[l]
+		for i := range mean {
+			mean[i] = 0
+		}
+		active := it.Active[l][:0]
+		seen := r.seen
+		for i := range seen {
+			seen[i] = false
+		}
+		meanHidden := it.Hidden[l]
+		for i := range meanHidden {
+			meanHidden[i] = 0
+		}
 		for k := 0; k < n; k++ {
-			u := states[k]
+			u := states[k*cfg.SemDim : (k+1)*cfg.SemDim]
 			r.walkLayer(u, l, 0)
 			// Per-token content keeps influencing routing at every
 			// depth; without this the shared drift field would
 			// collapse token diversity (and the per-layer expert
 			// union) in deep layers.
-			rng.New(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k), uint64(l)+1)).UnitVec(tokEta)
-			tensor.Axpy(cfg.PrefillTokenNoise*0.35, tokEta, u)
+			g := rng.Seeded(rng.Mix(r.spec.Seed, keyPrefillTok, uint64(k), uint64(l)+1))
+			g.UnitVec(r.tok)
+			tensor.Axpy(cfg.PrefillTokenNoise*0.35, r.tok, u)
 			tensor.Normalize(u)
 			r.m.GateProbs(u, l, probs)
 			tensor.Axpy(1, probs, mean)
-			for _, j := range tensor.TopK(probs, cfg.TopK) {
+			for _, j := range tensor.TopKInto(probs, cfg.TopK, r.order[:cap(r.order)]) {
 				if !seen[j] {
 					seen[j] = true
 					active = append(active, j)
 				}
 			}
-			if meanHidden == nil {
-				meanHidden = make([]float64, cfg.SemDim)
-			}
 			tensor.Axpy(1, u, meanHidden)
 		}
 		tensor.Scale(1/float64(n), mean)
 		tensor.Normalize(meanHidden)
-		it.Probs[l] = mean
 		it.Active[l] = active
-		it.Hidden[l] = meanHidden
 	}
 }
 
@@ -335,4 +459,50 @@ func (m *Model) Trace(spec PromptSpec) []*Iteration {
 		out = append(out, r.Next())
 	}
 	return out
+}
+
+// Tracer amortizes gate-trace simulation across requests: it reuses one
+// RequestSim's scratch buffers and recycles the Iterations of completed
+// requests through a free list, so a long serving run's steady-state trace
+// cost is pure compute. A Tracer is single-threaded, like the engine that
+// owns it.
+type Tracer struct {
+	m    *Model
+	sim  RequestSim
+	free []*Iteration
+}
+
+// NewTracer builds a tracer for m.
+func (m *Model) NewTracer() *Tracer { return &Tracer{m: m} }
+
+// Trace simulates spec like Model.Trace but appends the iterations to
+// dst[:0], drawing recycled Iterations from the free list before
+// allocating. The caller owns the result until it hands the iterations
+// back via Recycle.
+//
+//finemoe:allocok allocates iterations only while the free list warms up; steady state recycles completed requests' iterations
+func (t *Tracer) Trace(spec PromptSpec, dst []*Iteration) []*Iteration {
+	t.sim.Reset(t.m, spec)
+	r := &t.sim
+	dst = dst[:0]
+	for !r.Done() {
+		var it *Iteration
+		if n := len(t.free); n > 0 {
+			it = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+		} else {
+			it = new(Iteration)
+		}
+		dst = append(dst, r.NextInto(it))
+	}
+	return dst
+}
+
+// Recycle returns a completed request's iterations to the free list. The
+// caller must guarantee nothing retains the iterations or their internal
+// slices — in this repo every consumer (the store's NewExpertMap, the
+// trajectory cursor, the policies) copies what it keeps.
+func (t *Tracer) Recycle(its []*Iteration) {
+	t.free = append(t.free, its...)
 }

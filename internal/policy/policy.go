@@ -124,8 +124,14 @@ type Policy interface {
 // Base provides no-op defaults so policies only implement the hooks they
 // need. Embed it by value.
 type Base struct {
-	RT        Runtime
-	breakdown map[string]float64
+	RT Runtime
+	// comp accumulates the standard components densely; compTouched
+	// records which slots were ever accounted so Breakdown reproduces
+	// the key set a map accumulation would have had. breakdown catches
+	// non-standard component names only.
+	comp        [NumComponents]float64
+	compTouched [NumComponents]bool
+	breakdown   map[string]float64
 }
 
 // Attach stores the runtime.
@@ -152,20 +158,33 @@ func (b *Base) Scorer() cache.Scorer { return cache.LRU{} }
 // MemoryOverheadBytes defaults to zero.
 func (b *Base) MemoryOverheadBytes() int64 { return 0 }
 
-// Account accumulates a named latency component.
+// Account accumulates a named latency component. The standard components
+// accumulate into a dense array — Account runs several times per
+// iteration, so a string-keyed map update here (hash + probe per call)
+// is measurable at multi-million-request horizons. Non-standard names
+// fall back to a lazily built map.
 func (b *Base) Account(component string, ms float64) {
+	if i := ComponentIndex(component); i >= 0 {
+		b.comp[i] += ms
+		b.compTouched[i] = true
+		return
+	}
 	if b.breakdown == nil {
 		b.breakdown = map[string]float64{}
 	}
 	b.breakdown[component] += ms
 }
 
-// Breakdown returns accumulated component latencies.
+// Breakdown returns accumulated component latencies. Only components that
+// were actually accounted appear as keys (a component accounted with 0 ms
+// still appears), matching the map-accumulation behavior exactly.
 func (b *Base) Breakdown() map[string]float64 {
-	if b.breakdown == nil {
-		return map[string]float64{}
+	out := make(map[string]float64, len(b.breakdown)+len(b.comp))
+	for i, v := range b.comp {
+		if b.compTouched[i] {
+			out[Components[i]] = v
+		}
 	}
-	out := make(map[string]float64, len(b.breakdown))
 	for k, v := range b.breakdown {
 		out[k] = v
 	}
@@ -182,3 +201,37 @@ const (
 	CompInfer    = "inference"
 	CompPredict  = "predict_sync"
 )
+
+// Components lists the standard component names in ComponentIndex order.
+var Components = [...]string{
+	CompCollect, CompMapMatch, CompPrefetch, CompLoad,
+	CompUpdate, CompInfer, CompPredict,
+}
+
+// NumComponents is the size of the dense accounting array.
+const NumComponents = len(Components)
+
+// ComponentIndex maps a standard component name to its dense slot, or -1.
+// The switch compiles to length-bucketed comparisons of interned
+// constants — no hashing.
+//
+//finemoe:hotpath
+func ComponentIndex(component string) int {
+	switch component {
+	case CompCollect:
+		return 0
+	case CompMapMatch:
+		return 1
+	case CompPrefetch:
+		return 2
+	case CompLoad:
+		return 3
+	case CompUpdate:
+		return 4
+	case CompInfer:
+		return 5
+	case CompPredict:
+		return 6
+	}
+	return -1
+}

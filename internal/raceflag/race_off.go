@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-count guards skip under -race: instrumentation
+// can add heap allocations that have nothing to do with the code under
+// test, and the race job's purpose is concurrency coverage, not
+// allocation discipline (CI runs the alloc guards in a non-race job).
+package raceflag
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = false

@@ -47,7 +47,16 @@ type RNG struct {
 // New returns a generator seeded from seed via SplitMix64, per the xoshiro
 // authors' recommendation.
 func New(seed uint64) *RNG {
-	r := &RNG{seed: seed}
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded returns a generator seeded exactly like New but by value, so
+// short-lived keyed streams (one per request, iteration, or token) can
+// live on the caller's stack instead of escaping to the heap. The
+// returned value produces the same stream as *New(seed).
+func Seeded(seed uint64) RNG {
+	r := RNG{seed: seed}
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -57,6 +66,13 @@ func New(seed uint64) *RNG {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
 	return r
+}
+
+// Reseed resets the generator in place to the stream New(seed) produces,
+// clearing any cached Gaussian spare. It lets long-lived scratch
+// generators be re-keyed per stream without allocating.
+func (r *RNG) Reseed(seed uint64) {
+	*r = Seeded(seed)
 }
 
 // Derive returns a new independent generator whose stream is a deterministic

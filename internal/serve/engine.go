@@ -150,11 +150,16 @@ type Engine struct {
 	// regardless of whether the working set actually fits.
 	memSpill float64
 
-	breakdown  map[string]float64
-	iterations int
-	syncLoadMS float64 // cumulative SyncLoad wait, for attribution
-	hits       int
-	misses     int
+	// comp accumulates per-component latency densely (the engine only
+	// accounts standard policy components; see policy.ComponentIndex).
+	// compTouched tracks which slots were accounted so Finalize emits
+	// exactly the keys a map accumulation would have.
+	comp        [policy.NumComponents]float64
+	compTouched [policy.NumComponents]bool
+	iterations  int
+	syncLoadMS  float64 // cumulative SyncLoad wait, for attribution
+	hits        int
+	misses      int
 
 	// Steppable run state. pendingIt is parallel to pending; a nil entry
 	// means "simulate the gate trace at admission time".
@@ -162,6 +167,15 @@ type Engine struct {
 	pendingIt [][]*moe.Iteration
 	running   []*runReq
 	completed []RequestMetrics
+	// tracer simulates gate traces for requests submitted without one,
+	// recycling the iterations of completed engine-traced requests.
+	// Pre-supplied traces (SubmitTraced, RunOffline/RunOnline) are
+	// caller-owned and are never recycled; runReq.ownedTrace tells the
+	// two apart. reqFree and iterSliceFree recycle the per-request
+	// bookkeeping records and their trace-slice headers.
+	tracer        *moe.Tracer
+	reqFree       []*runReq
+	iterSliceFree [][]*moe.Iteration
 	// batchScratch is step's reusable copy of running (finishIteration
 	// compacts e.running while the batch is iterated, so the iteration
 	// must walk a stable copy — but not a fresh one per event).
@@ -172,16 +186,20 @@ type Engine struct {
 	iterScratch  []policy.IterView
 	layerScratch []policy.LayerView
 	admitScratch []*runReq
-	residScratch map[moe.ExpertRef]bool
+	// residScratch[j] is expert j's residency at the current layer; the
+	// dense per-expert layout replaces a map keyed by ExpertRef (every
+	// ref probed in one layer shares that layer), trading a J-entry clear
+	// per layer for zero hashing on the decode path.
+	residScratch []bool
 	gpuScratch   []float64
 	// unionActive's reusable buffers: the deduplicated union, the flat
 	// per-request activation backing store with its offset table, the
-	// per-request slice windows, and the dedup set.
+	// per-request slice windows, and the dense per-expert dedup set.
 	unionScratch  []moe.ExpertRef
 	activeScratch []moe.ExpertRef
 	activeOffs    []int
 	perReqScratch [][]moe.ExpertRef
-	seenScratch   map[moe.ExpertRef]bool
+	seenScratch   []bool
 	now           float64
 	// offline switches admission to RunOffline's lockstep fixed-batch
 	// semantics: a new batch is admitted only when the previous one fully
@@ -235,7 +253,6 @@ func New(opts Options) *Engine {
 		pol:       opts.Policy,
 		host:      buildHostTiers(cl.Hierarchy(), cfg, hostScorer),
 		pendingUp: map[moe.ExpertRef]float64{},
-		breakdown: map[string]float64{},
 	}
 	e.tierDrops = make([]int, len(e.host))
 	warmHostTiers(e.host, cfg)
@@ -348,8 +365,11 @@ func (e *Engine) drain(now float64) {
 	}
 }
 
+//finemoe:hotpath
 func (e *Engine) account(component string, ms float64) {
-	e.breakdown[component] += ms
+	i := policy.ComponentIndex(component)
+	e.comp[i] += ms
+	e.compTouched[i] = true
 }
 
 // --- iteration execution ----------------------------------------------------
@@ -360,6 +380,10 @@ type runReq struct {
 	iters   []*moe.Iteration
 	next    int // next iteration index
 	metrics RequestMetrics
+	// ownedTrace marks iters as engine-simulated (via the tracer), so the
+	// iterations can be recycled when the request completes. Pre-supplied
+	// traces are caller-owned and must survive the request.
+	ownedTrace bool
 }
 
 func (r *runReq) done() bool { return r.next >= len(r.iters) }
@@ -415,18 +439,20 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 
 		// Resolve the batch's activated experts: residency snapshot
 		// determines hits (§3.2 Step 4), then misses load on demand.
+		// Every ref here names layer l, so residency is indexed
+		// densely by expert (a map keyed by ExpertRef paid a hash
+		// per probe on the decode path).
 		active, perReq := e.unionActive(batch, l)
-		if e.residScratch == nil {
-			e.residScratch = make(map[moe.ExpertRef]bool, len(active))
+		if cap(e.residScratch) < e.cfg.RoutedExperts {
+			e.residScratch = make([]bool, e.cfg.RoutedExperts)
 		}
-		clear(e.residScratch)
-		resident := e.residScratch
+		resident := e.residScratch[:e.cfg.RoutedExperts]
 		for _, ref := range active {
-			resident[ref] = e.caches.Contains(ref)
+			resident[ref.Expert] = e.caches.Contains(ref)
 		}
 		for i, r := range batch {
 			for _, ref := range perReq[i] {
-				if resident[ref] {
+				if resident[ref.Expert] {
 					r.metrics.Hits++
 				} else {
 					r.metrics.Misses++
@@ -434,7 +460,7 @@ func (e *Engine) runIteration(batch []*runReq, now float64) float64 {
 			}
 		}
 		for _, ref := range active {
-			if resident[ref] {
+			if resident[ref.Expert] {
 				e.hits++
 				e.caches.Lookup(ref, now)
 				e.caches.Pin(ref)
@@ -496,11 +522,13 @@ func (e *Engine) applyHookDelay(now, delay, markSyncLoad float64) float64 {
 //
 //finemoe:hotpath
 func (e *Engine) unionActive(batch []*runReq, l int) ([]moe.ExpertRef, [][]moe.ExpertRef) {
-	if e.seenScratch == nil {
-		e.seenScratch = make(map[moe.ExpertRef]bool, 2*e.cfg.TopK*len(batch))
+	if cap(e.seenScratch) < e.cfg.RoutedExperts {
+		e.seenScratch = make([]bool, e.cfg.RoutedExperts)
 	}
-	clear(e.seenScratch)
-	seen := e.seenScratch
+	seen := e.seenScratch[:e.cfg.RoutedExperts]
+	for i := range seen {
+		seen[i] = false
+	}
 	union := e.unionScratch[:0]
 	flat := e.activeScratch[:0]
 	offs := e.activeOffs[:0]
@@ -510,8 +538,8 @@ func (e *Engine) unionActive(batch []*runReq, l int) ([]moe.ExpertRef, [][]moe.E
 		for _, j := range it.Active[l] {
 			ref := moe.ExpertRef{Layer: l, Expert: j}
 			flat = append(flat, ref)
-			if !seen[ref] {
-				seen[ref] = true
+			if !seen[j] {
+				seen[j] = true
 				union = append(union, ref)
 			}
 		}
@@ -603,8 +631,10 @@ func (e *Engine) finalize(reqs []RequestMetrics, wallClock float64) *Result {
 	} else {
 		res.HitRate = 1
 	}
-	for k, v := range e.breakdown {
-		res.Breakdown[k] = v
+	for i, v := range e.comp {
+		if e.compTouched[i] {
+			res.Breakdown[policy.Components[i]] = v
+		}
 	}
 	for k, v := range e.pol.Breakdown() {
 		res.Breakdown[k] += v
@@ -830,16 +860,35 @@ func (e *Engine) StallStagingLinks(untilMS float64) { e.cluster.StallStaging(unt
 // request's metric arrival time (its trace arrival online, the current
 // clock offline).
 //
-//finemoe:allocok one runReq (and its gate trace when not pre-supplied) per admitted request, amortized over the request's full token stream
+//finemoe:allocok warms the runReq and gate-trace free lists; steady-state admissions recycle completed requests' records
 func (e *Engine) admitOne(arrival float64) *runReq {
 	q := e.pending[0]
 	iters := e.pendingIt[0]
 	e.pending = e.pending[1:]
 	e.pendingIt = e.pendingIt[1:]
+	owned := false
 	if iters == nil {
-		iters = e.model.Trace(q.PromptSpec)
+		if e.tracer == nil {
+			e.tracer = e.model.NewTracer()
+		}
+		var slot []*moe.Iteration
+		if n := len(e.iterSliceFree); n > 0 {
+			slot = e.iterSliceFree[n-1]
+			e.iterSliceFree[n-1] = nil
+			e.iterSliceFree = e.iterSliceFree[:n-1]
+		}
+		iters = e.tracer.Trace(q.PromptSpec, slot)
+		owned = true
 	}
-	r := &runReq{req: q, iters: iters}
+	var r *runReq
+	if n := len(e.reqFree); n > 0 {
+		r = e.reqFree[n-1]
+		e.reqFree[n-1] = nil
+		e.reqFree = e.reqFree[:n-1]
+		*r = runReq{req: q, iters: iters, ownedTrace: owned}
+	} else {
+		r = &runReq{req: q, iters: iters, ownedTrace: owned}
+	}
 	r.metrics = RequestMetrics{ID: q.ID, ArrivalMS: arrival, StartMS: e.now, OutputTokens: q.OutputTokens}
 	mark := e.syncLoadMS
 	e.now = e.applyHookDelay(e.now, e.pol.StartRequest(q.ID, e.now), mark)
@@ -929,6 +978,17 @@ func (e *Engine) finishIteration(batch []*runReq, end float64) {
 					break
 				}
 			}
+			// Recycle the request's bookkeeping: engine-simulated gate
+			// traces go back to the tracer (nothing downstream retains
+			// them — see Tracer.Recycle), the trace-slice header and the
+			// runReq record to their free lists. Caller-supplied traces
+			// stay untouched.
+			if r.ownedTrace {
+				e.tracer.Recycle(r.iters)
+				e.iterSliceFree = append(e.iterSliceFree, r.iters[:0])
+			}
+			*r = runReq{}
+			e.reqFree = append(e.reqFree, r)
 		}
 	}
 }

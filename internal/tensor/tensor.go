@@ -94,8 +94,11 @@ func MatVec(m []float64, rows, cols int, v, dst []float64) {
 	if len(m) != rows*cols || len(v) != cols || len(dst) != rows {
 		panic("tensor: MatVec shape mismatch")
 	}
+	// Slicing each row to exactly cols elements lets the compiler prove
+	// v[c] in-bounds from the shape check above, eliding per-element
+	// bounds checks in the dot kernel.
 	for r := 0; r < rows; r++ {
-		row := m[r*cols : (r+1)*cols]
+		row := m[r*cols : r*cols+cols]
 		var s float64
 		for c, x := range row {
 			s += x * v[c]
@@ -146,6 +149,30 @@ func TopK(p []float64, k int) []int {
 		return idx[a] < idx[b]
 	})
 	return idx[:k:k]
+}
+
+// TopKInto is the allocation-free TopK: it writes the full descending
+// order of p into scratch (which must have capacity ≥ len(p)) and returns
+// scratch's first k entries. The order is built by stable insertion —
+// indices are considered in ascending order and each is placed after all
+// strictly-greater and all equal-valued earlier indices — which is exactly
+// the (value descending, index ascending) order TopK's stable sort
+// produces, so TopKInto(p, k, s) element-equals TopK(p, k) for every input.
+func TopKInto(p []float64, k int, scratch []int) []int {
+	if k < 0 || k > len(p) {
+		panic("tensor: TopKInto k out of range")
+	}
+	order := scratch[:0]
+	for i := range p {
+		j := len(order)
+		order = append(order, i)
+		for j > 0 && p[order[j-1]] < p[i] {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = i
+	}
+	return order[:k]
 }
 
 // ArgMax returns the index of the largest element, lowest index on ties.
@@ -275,6 +302,27 @@ func CumulativeTopSet(p []float64, threshold float64, minCount int) []int {
 	return out
 }
 
+// CumulativeTopSetInto is the allocation-free CumulativeTopSet: order is
+// the index scratch TopKInto needs (capacity ≥ len(p)) and the result is
+// appended to out[:0]. Selection logic is identical to CumulativeTopSet,
+// so the returned set element-equals it for every input.
+func CumulativeTopSetInto(p []float64, threshold float64, minCount int, order, out []int) []int {
+	full := TopKInto(p, len(p), order)
+	if minCount > len(p) {
+		minCount = len(p)
+	}
+	var cum float64
+	out = out[:0]
+	for _, j := range full {
+		if len(out) >= minCount && cum >= threshold {
+			break
+		}
+		out = append(out, j)
+		cum += p[j]
+	}
+	return out
+}
+
 // OverlapRatio returns |a ∩ b| / |a| treating a as the reference set.
 // An empty reference yields 1 (vacuously satisfied).
 func OverlapRatio(a, b []int) float64 {
@@ -311,6 +359,17 @@ func Float64s(v []float32) []float64 {
 		out[i] = float64(x)
 	}
 	return out
+}
+
+// Float64sInto widens v into dst (allocation-free Float64s). dst must have
+// length len(v).
+func Float64sInto(v []float32, dst []float64) {
+	if len(dst) != len(v) {
+		panic("tensor: Float64sInto length mismatch")
+	}
+	for i, x := range v {
+		dst[i] = float64(x)
+	}
 }
 
 // DotF32 returns the inner product of a and b over float32 storage,

@@ -70,6 +70,12 @@ func ReadTrace(r io.Reader) (Dataset, []Request, error) {
 	}
 	reqs := make([]Request, 0, len(tf.Requests))
 	seen := make(map[uint64]bool, len(tf.Requests))
+	// Embeddings are rebacked onto a shared arena: the decoder's
+	// per-request slices (each a separate allocation sized by the JSON
+	// token count, not the row) become garbage as soon as decoding
+	// finishes, and the returned trace has the same memory layout as a
+	// generated one — full-slice-capped rows in shared blocks.
+	arena := NewArena(tf.Dim)
 	var lastArrival float64
 	for i, e := range tf.Requests {
 		if len(e.Embedding) != tf.Dim {
@@ -94,7 +100,8 @@ func ReadTrace(r io.Reader) (Dataset, []Request, error) {
 			q.Dataset = e.Dataset
 		}
 		q.ID = e.ID
-		q.Embedding = e.Embedding
+		q.Embedding = arena.Row()
+		copy(q.Embedding, e.Embedding)
 		q.InputTokens = e.InputTokens
 		q.OutputTokens = e.OutputTokens
 		q.Seed = e.Seed

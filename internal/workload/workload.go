@@ -15,7 +15,6 @@ import (
 
 	"finemoe/internal/moe"
 	"finemoe/internal/rng"
-	"finemoe/internal/tensor"
 )
 
 // Request is one serving request: a simulatable prompt plus workload
@@ -157,38 +156,19 @@ type Options struct {
 	IDBase uint64
 }
 
-// Sample draws n requests from the dataset population.
+// Sample draws n requests from the dataset population. Embeddings are
+// rows of a shared arena (one block per arenaRows requests) rather than
+// individual allocations; the values are byte-identical to per-request
+// allocation, and the drawing loop is the same sampler the streaming
+// generators use (stream.go), so Sample and StreamOnline cannot drift.
 func (d Dataset) Sample(opt Options) []Request {
 	if opt.Dim <= 0 || opt.N < 0 {
 		panic(fmt.Sprintf("workload: invalid options %+v", opt))
 	}
-	r := rng.New(rng.Mix(d.Seed, opt.Seed, 0xD47A))
+	s := newSampler(d, opt)
 	out := make([]Request, opt.N)
-	noise := make([]float64, opt.Dim)
 	for i := range out {
-		topic := d.sampleTopic(r)
-		emb := tensor.Copy(d.TopicDirection(opt.Dim, topic))
-		r.UnitVec(noise)
-		tensor.Axpy(d.TopicSpread, noise, emb)
-		tensor.Normalize(emb)
-
-		in, outLen := d.MeanInput, d.MeanOutput
-		if !opt.FixedLengths {
-			in = sampleLen(r, d.MeanInput, d.LenSigma, 4, 2048)
-			outLen = sampleLen(r, d.MeanOutput, d.LenSigma, 2, 1024)
-		}
-		id := opt.IDBase + uint64(i)
-		out[i] = Request{
-			PromptSpec: moe.PromptSpec{
-				ID:           id,
-				Embedding:    emb,
-				InputTokens:  in,
-				OutputTokens: outLen,
-				Seed:         rng.Mix(d.Seed, opt.Seed, 0x9E4D, id),
-			},
-			Topic:   topic,
-			Dataset: d.Name,
-		}
+		out[i] = s.next(opt.IDBase + uint64(i))
 	}
 	return out
 }
